@@ -1,0 +1,27 @@
+# Developer entry points (see CONTRIBUTING.md).
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full report examples clean-cache
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_BENCH_SCALE=full REPRO_CACHE_DIR=.repro_cache \
+		$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro.cli report --strict
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+clean-cache:
+	rm -rf .repro_cache benchmarks/results

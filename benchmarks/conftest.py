@@ -1,0 +1,65 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and *emits*
+the same rows/series the paper reports: printed to stdout (visible with
+``pytest -s`` or in the benchmark summary) and written to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference stable
+artifacts.
+
+Scale is controlled with ``REPRO_BENCH_SCALE`` (``small`` default /
+``full`` = all 48 records); see :mod:`repro.experiments.runner`.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Plain-text table with right-aligned numeric-ish columns."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def emit(name: str, title: str, body: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    text = f"== {title} ==\n{body}\n"
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+
+
+@pytest.fixture
+def table():
+    """The render_table helper as a fixture."""
+    return render_table
+
+
+@pytest.fixture
+def emit_result():
+    """The emit helper as a fixture."""
+    return emit
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """The active experiment scale (env-selectable)."""
+    from repro.experiments.runner import active_scale
+
+    return active_scale()

@@ -1,0 +1,60 @@
+"""Ablation: the fidelity-radius safety factor σ.
+
+Eq. 1 needs a fidelity radius σ.  The receiver sizes it from the known
+measurement-quantization noise times a safety factor
+(`FrontEndConfig.sigma_safety`).  Too small → the true signal is
+infeasible and the solve distorts; too large → the ball admits
+low-``‖α‖₁`` imposters and quality drops.  This sweep locates the plateau
+that justifies the default of 2.
+"""
+
+import numpy as np
+
+from repro.core.config import FrontEndConfig
+from repro.core.pipeline import default_codebook, run_record
+from repro.recovery.pdhg import PdhgSettings
+from repro.signals.database import load_record
+
+SAFETY_VALUES = (0.1, 0.5, 1.0, 2.0, 4.0, 16.0, 64.0)
+RECORDS = ("100", "119")
+
+
+def _run():
+    codebook = default_codebook(7)
+    results = {}
+    for safety in SAFETY_VALUES:
+        config = FrontEndConfig(
+            window_len=256,
+            n_measurements=64,
+            sigma_safety=safety,
+            solver=PdhgSettings(max_iter=1500, tol=2e-4),
+        )
+        snrs = [
+            run_record(
+                load_record(name, duration_s=20.0),
+                config,
+                codebook=codebook,
+                max_windows=3,
+            ).mean_snr_db
+            for name in RECORDS
+        ]
+        results[safety] = float(np.mean(snrs))
+    return results
+
+
+def test_ablation_sigma_safety(benchmark, table, emit_result):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    # A broad plateau around the default; the extremes cost quality.
+    default = results[2.0]
+    assert results[1.0] > default - 2.0
+    assert results[4.0] > default - 2.0
+    # A wildly oversized ball must hurt (the constraint stops binding).
+    assert results[64.0] < default
+
+    rows = [(f"{s:g}", f"{snr:.2f}") for s, snr in results.items()]
+    emit_result(
+        "ablation_sigma_safety",
+        "Ablation — fidelity-radius safety factor (hybrid, 75% CS CR)",
+        table(["sigma_safety", "SNR (dB)"], rows),
+    )

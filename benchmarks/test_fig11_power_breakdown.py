@@ -1,0 +1,52 @@
+"""Benchmark: paper Fig. 11 — power breakdown vs sampling frequency.
+
+Sweeps the analytical models over 100 Hz - 100 MHz for both the normal
+RMPI (m = 240) and the hybrid design (m = 96) at the SNR = 20 dB sizing,
+and asserts the section's conclusions: the amplifier array dominates "with
+a very large margin", the low-res path is negligible, and the hybrid total
+is ~2.5x lower.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig11
+
+
+def test_fig11_power_breakdown(benchmark, table, emit_result):
+    data = benchmark(run_fig11)
+
+    assert data.amplifier_dominates()
+    assert data.power_scales_linearly()
+    assert data.gain_at(360.0) == np.clip(data.gain_at(360.0), 2.3, 2.7)
+    assert data.lowres_fraction_at_360hz < 1e-3
+
+    def rows_for(sweep):
+        out = []
+        for i, fs in enumerate(data.fs_hz[::4]):
+            j = i * 4
+            out.append(
+                (
+                    f"{fs:.3g}",
+                    f"{sweep['adc_w'][j] * 1e6:.3g}",
+                    f"{sweep['integrator_w'][j] * 1e6:.3g}",
+                    f"{sweep['amplifier_w'][j] * 1e6:.3g}",
+                    f"{sweep['total_w'][j] * 1e6:.3g}",
+                )
+            )
+        return out
+
+    headers = ["fs (Hz)", "P[adc] uW", "P[Int] uW", "P[amp] uW", "P[Total] uW"]
+    body = (
+        f"RMPI, m = {data.m_normal}:\n"
+        + table(headers, rows_for(data.normal))
+        + f"\n\nHybrid CS, m = {data.m_hybrid} (+7-bit low-res channel):\n"
+        + table(headers, rows_for(data.hybrid))
+        + f"\n\ntotal-power gain at 360 Hz: {data.gain_at(360.0):.2f}x"
+        + f"\nlow-res path share of hybrid total: "
+        + f"{data.lowres_fraction_at_360hz:.2e}"
+    )
+    emit_result(
+        "fig11_power_breakdown",
+        "Fig. 11 — power breakdown vs sampling frequency",
+        body,
+    )

@@ -1,0 +1,39 @@
+"""Benchmark: paper Fig. 2 — the low-resolution window and its bound area.
+
+Regenerates both panels' series: Fig. 2(a) original vs 7-bit samples of an
+example window, Fig. 2(b) the [x_dot, x_dot + d] bound band.  The emitted
+summary reports the band statistics the figure conveys visually.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig2
+
+
+def _run():
+    return run_fig2(record_name="100", lowres_bits=7)
+
+
+def test_fig2_lowres_window(benchmark, table, emit_result):
+    data = benchmark(_run)
+
+    assert data.bounds_contain_original()
+    assert data.bound_width_adu == 16.0  # d = 2^(11-7) codes
+
+    unique_lowres = len(np.unique(data.lowres_adu))
+    unique_orig = len(np.unique(data.original_adu))
+    rows = [
+        ("record", data.record_name),
+        ("window length (samples)", data.original_adu.size),
+        ("low-res resolution (bits)", data.lowres_bits),
+        ("bound width d (ADU)", int(data.bound_width_adu)),
+        ("original range (ADU)", f"{data.original_adu.min()}..{data.original_adu.max()}"),
+        ("distinct original values", unique_orig),
+        ("distinct low-res values", unique_lowres),
+        ("original inside bound band", data.bounds_contain_original()),
+    ]
+    emit_result(
+        "fig2_lowres_window",
+        "Fig. 2 — example 7-bit low-resolution window and bound area",
+        table(["quantity", "value"], rows),
+    )

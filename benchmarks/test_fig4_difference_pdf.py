@@ -1,0 +1,32 @@
+"""Benchmark: paper Fig. 4 — PDF of quantized-sample differences.
+
+Regenerates the four curves (10/8/6/4-bit) over the database and emits
+the probability at each difference value in the plotted ±15 range.
+"""
+
+from repro.experiments import PAPER_FIG4_RESOLUTIONS, run_fig4
+
+
+def test_fig4_difference_pdf(benchmark, table, emit_result, bench_scale):
+    data = benchmark.pedantic(
+        lambda: run_fig4(scale=bench_scale), rounds=1, iterations=1
+    )
+
+    # The paper's qualitative claim: distributions sharpen at low
+    # resolution (far from uniform -> Huffman-codable).
+    assert data.is_monotone_in_resolution()
+    assert data.zero_mass(4) > 0.5
+
+    support = data.pdfs[PAPER_FIG4_RESOLUTIONS[0]][0]
+    headers = ["difference"] + [f"{b}-bit" for b in PAPER_FIG4_RESOLUTIONS]
+    rows = []
+    for i, d in enumerate(support):
+        rows.append(
+            [int(d)]
+            + [f"{data.pdfs[b][1][i]:.4f}" for b in PAPER_FIG4_RESOLUTIONS]
+        )
+    emit_result(
+        "fig4_difference_pdf",
+        "Fig. 4 — PDF of difference between quantized samples",
+        table(headers, rows),
+    )

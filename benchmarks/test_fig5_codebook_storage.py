@@ -1,0 +1,30 @@
+"""Benchmark: paper Fig. 5 — codebook storage vs quantizer resolution.
+
+Trains the offline codebook at each resolution 3-10 bit and reports the
+on-node storage in bytes (the paper quotes 68 B at the 7-bit trade-off
+point; our synthetic streams are cleaner than raw MIT-BIH so the absolute
+sizes are smaller, but the monotone growth with resolution — the figure's
+message — is asserted).
+"""
+
+from repro.experiments import PAPER_RESOLUTIONS, run_lowres_tradeoff
+
+
+def test_fig5_codebook_storage(benchmark, table, emit_result, bench_scale):
+    data = benchmark.pedantic(
+        lambda: run_lowres_tradeoff(PAPER_RESOLUTIONS, scale=bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert data.storage_is_monotone()
+
+    rows = [
+        (r.resolution_bits, r.codebook_entries, r.storage_bytes)
+        for r in data.rows
+    ]
+    emit_result(
+        "fig5_codebook_storage",
+        "Fig. 5 — offline codebook storage per quantizer resolution",
+        table(["N-bit resolution", "table entries", "storage (B)"], rows),
+    )

@@ -1,0 +1,41 @@
+"""Benchmark: paper Fig. 6 — average compression of the low-res channel.
+
+Encodes every window of every record at each resolution and reports the
+mean compressed fraction (the paper's Fig. 6 y-axis, valued in [0, 1]).
+The paper's trend — compression worsens (fraction rises) as resolution
+grows, because the difference distribution flattens — is asserted over
+the 6..10-bit range where it holds strictly.
+"""
+
+from repro.experiments import PAPER_RESOLUTIONS, run_lowres_tradeoff
+
+
+def test_fig6_lowres_compression(benchmark, table, emit_result, bench_scale):
+    data = benchmark.pedantic(
+        lambda: run_lowres_tradeoff(PAPER_RESOLUTIONS, scale=bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Compressed fraction grows with resolution in the mid-to-high range.
+    fractions = {r.resolution_bits: r.compressed_fraction for r in data.rows}
+    for lo, hi in ((6, 8), (8, 10)):
+        assert fractions[lo] < fractions[hi]
+    # And entropy coding always wins against raw transmission.
+    assert all(r.compressed_fraction < 1.0 for r in data.rows)
+
+    rows = [
+        (
+            r.resolution_bits,
+            f"{r.compressed_fraction:.3f}",
+            f"{r.bits_per_sample:.2f}",
+        )
+        for r in data.rows
+    ]
+    emit_result(
+        "fig6_lowres_compression",
+        "Fig. 6 — average compression ratio of the low-resolution path",
+        table(
+            ["N-bit resolution", "compressed fraction", "bits/sample"], rows
+        ),
+    )

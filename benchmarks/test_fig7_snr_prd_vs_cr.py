@@ -1,0 +1,66 @@
+"""Benchmark: paper Fig. 7 — averaged SNR and PRD vs compression ratio.
+
+The paper's central quality figure.  Runs both methods over the CR axis
+{50..97}% and asserts its claims:
+
+* hybrid CS outperforms normal CS at every CR;
+* the gap widens at high CR, where normal CS collapses;
+* hybrid reaches "good" quality at a far higher CR than normal CS;
+* at ~97% CS CR (≈85% net) the hybrid still exceeds 17 dB (Section V).
+"""
+
+from repro.experiments import run_fig7
+from repro.metrics.quality import GOOD_PRD_THRESHOLD
+
+
+def test_fig7_snr_prd_vs_cr(benchmark, table, emit_result, bench_scale):
+    data = benchmark.pedantic(
+        lambda: run_fig7(scale=bench_scale), rounds=1, iterations=1
+    )
+
+    assert data.hybrid_dominates()
+    assert data.gap_widens_at_high_cr()
+
+    # Normal CS collapse region (paper: "fails to converge or has very
+    # poor reconstruction quality" above ~88%).
+    assert data.normal.snr_at(97.0) < 5.0
+    assert data.hybrid.snr_at(97.0) > 15.0
+
+    # Section V: >17 dB at ~85% net compression.
+    idx97 = data.hybrid.cr_percent.index(97.0)
+    assert data.hybrid.net_cr_percent[idx97] > 80.0
+
+    # "Good" quality threshold crossing: hybrid far beyond normal.
+    good_h = data.hybrid.highest_good_cr(GOOD_PRD_THRESHOLD)
+    good_n = data.normal.highest_good_cr(GOOD_PRD_THRESHOLD)
+    assert good_h is not None
+    assert good_n is None or good_h > good_n
+
+    rows = []
+    for i, cr in enumerate(data.hybrid.cr_percent):
+        rows.append(
+            (
+                f"{cr:.0f}",
+                f"{data.hybrid.snr_db[i]:.2f}",
+                f"{data.normal.snr_db[i]:.2f}",
+                f"{data.hybrid.prd_percent[i]:.2f}",
+                f"{data.normal.prd_percent[i]:.2f}",
+                f"{data.hybrid.net_cr_percent[i]:.2f}",
+            )
+        )
+    emit_result(
+        "fig7_snr_prd_vs_cr",
+        "Fig. 7 — averaged SNR/PRD vs CS-channel CR (hybrid vs normal CS)"
+        + f"\n(good-quality CR: hybrid {good_h}, normal {good_n})",
+        table(
+            [
+                "CR %",
+                "hybrid SNR dB",
+                "CS SNR dB",
+                "hybrid PRD %",
+                "CS PRD %",
+                "hybrid net CR %",
+            ],
+            rows,
+        ),
+    )

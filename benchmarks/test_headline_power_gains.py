@@ -1,0 +1,66 @@
+"""Benchmark: Section VI headline — power gain at fixed SNR targets.
+
+*Measures* the measurement count each design needs to reach SNR = 20 dB
+and 17 dB on real recovery sweeps, evaluates the analytical power model at
+those counts, and compares against the paper's quoted operating points
+(96 vs 240 → ~2.5x; 16 vs 176 → ~11x).
+"""
+
+from repro.experiments import run_headline
+from repro.experiments.runner import ExperimentScale
+
+# The m-grid search multiplies solver work; a 4-record scale keeps the
+# bench minutes-long while the SNR means stay stable.
+HEADLINE_SCALE = ExperimentScale(
+    record_names=("100", "103", "119", "208"),
+    duration_s=20.0,
+    max_windows=2,
+)
+
+
+def test_headline_power_gains(benchmark, table, emit_result):
+    data = benchmark.pedantic(
+        lambda: run_headline(scale=HEADLINE_SCALE), rounds=1, iterations=1
+    )
+
+    for point in data.points:
+        # Hybrid always reaches the target with some searched m.
+        assert point.m_hybrid is not None
+        # Hybrid needs strictly fewer measurements than normal CS (or
+        # normal CS cannot reach the target at all).
+        if point.m_normal is not None:
+            assert point.m_hybrid < point.m_normal
+            assert point.measured_gain is not None
+            assert point.measured_gain > 1.5
+        # The analytical model reproduces the paper's quoted gains at the
+        # paper's own operating points.
+        assert abs(point.model_gain_at_paper_m - point.paper_gain) < 0.6
+
+    rows = [
+        (
+            f"{p.target_snr_db:.0f}",
+            p.m_hybrid,
+            p.m_normal if p.m_normal is not None else "unreachable",
+            f"{p.measured_gain:.1f}x" if p.measured_gain else "inf",
+            f"{p.paper_m_hybrid}/{p.paper_m_normal}",
+            f"{p.model_gain_at_paper_m:.1f}x",
+            f"{p.paper_gain:.1f}x",
+        )
+        for p in data.points
+    ]
+    emit_result(
+        "headline_power_gains",
+        "Section VI — measured power gain at fixed reconstruction SNR",
+        table(
+            [
+                "target SNR dB",
+                "m hybrid",
+                "m normal",
+                "measured gain",
+                "paper m (h/n)",
+                "model gain @ paper m",
+                "paper gain",
+            ],
+            rows,
+        ),
+    )

@@ -1,0 +1,90 @@
+"""Performance benchmarks: solver and coder throughput.
+
+Unlike the figure benches (one-shot experiment reruns), these use
+pytest-benchmark's repeated timing to track the hot paths a user actually
+waits on: the Eq. 1 solve per window, the BPDN baseline, the DWT, and the
+entropy-coding round trip.  Regressions here are regressions in every
+experiment above.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import default_codebook
+from repro.recovery import CsProblem, PdhgSettings, solve_bpdn, solve_hybrid
+from repro.sensing.matrices import bernoulli_matrix
+from repro.sensing.quantizers import lowres_bounds, requantize_codes
+from repro.signals.database import load_record
+from repro.wavelets import WaveletBasis, wavedec, waverec
+
+N, M = 512, 96
+SETTINGS = PdhgSettings(max_iter=800, tol=2e-4)
+
+
+@pytest.fixture(scope="module")
+def window_setup():
+    record = load_record("100", duration_s=10.0)
+    window = next(record.windows(N))
+    x = window.astype(float) - 1024
+    basis = WaveletBasis(N, "db4")
+    phi = bernoulli_matrix(M, N, seed=2015)
+    prob = CsProblem(phi, basis)
+    _ = prob.a  # pre-build the cached operator
+    y = phi @ x
+    lowres = requantize_codes(window, 11, 7)
+    lower, upper = lowres_bounds(lowres, 11, 7)
+    return {
+        "window": window,
+        "x": x,
+        "basis": basis,
+        "phi": phi,
+        "prob": prob,
+        "y": y,
+        "lower": lower - 1024,
+        "upper": upper - 1024,
+        "lowres": lowres,
+    }
+
+
+def test_perf_hybrid_solve(benchmark, window_setup):
+    s = window_setup
+    result = benchmark(
+        lambda: solve_hybrid(
+            s["phi"], s["basis"], s["y"], 1e-3, s["lower"], s["upper"],
+            problem=s["prob"], settings=SETTINGS,
+        )
+    )
+    assert result.iterations > 0
+
+
+def test_perf_bpdn_solve(benchmark, window_setup):
+    s = window_setup
+    result = benchmark(
+        lambda: solve_bpdn(
+            s["phi"], s["basis"], s["y"], 1e-3,
+            problem=s["prob"], settings=SETTINGS,
+        )
+    )
+    assert result.iterations > 0
+
+
+def test_perf_dwt_roundtrip(benchmark, window_setup):
+    x = window_setup["x"]
+
+    def roundtrip():
+        return waverec(wavedec(x, "db4", 6))
+
+    out = benchmark(roundtrip)
+    assert np.allclose(out, x, atol=1e-8)
+
+
+def test_perf_lowres_coding_roundtrip(benchmark, window_setup):
+    lowres = window_setup["lowres"]
+    book = default_codebook(7)
+
+    def roundtrip():
+        payload, bits = book.encode_window(lowres)
+        return book.decode_window(payload, lowres.size, bits)
+
+    out = benchmark(roundtrip)
+    assert np.array_equal(out, lowres)

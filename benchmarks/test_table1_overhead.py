@@ -1,0 +1,44 @@
+"""Benchmark: paper Table I — low-resolution channel overhead D_i.
+
+Reports the measured overhead (Eq. 2) per resolution next to the paper's
+row, asserting the properties that carry the design decision: overhead is
+monotone in resolution and lands in single digits at the paper's 7-bit
+operating point.
+"""
+
+from repro.experiments import (
+    PAPER_RESOLUTIONS,
+    PAPER_TABLE1_OVERHEADS,
+    run_lowres_tradeoff,
+)
+
+
+def test_table1_overhead(benchmark, table, emit_result, bench_scale):
+    data = benchmark.pedantic(
+        lambda: run_lowres_tradeoff(PAPER_RESOLUTIONS, scale=bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert data.overhead_is_monotone()
+    # The 7-bit operating point: paper 7.8%; ours must stay single-digit
+    # for the net-CR arithmetic of Section V to carry over.
+    assert data.row(7).overhead_percent < 12.0
+    # Same order of magnitude across the sweep.
+    for r in data.rows:
+        paper = PAPER_TABLE1_OVERHEADS[r.resolution_bits]
+        assert r.overhead_percent < 3.0 * paper + 3.0
+
+    rows = [
+        (
+            r.resolution_bits,
+            f"{r.overhead_percent:.2f}",
+            f"{PAPER_TABLE1_OVERHEADS[r.resolution_bits]:.1f}",
+        )
+        for r in sorted(data.rows, key=lambda r: -r.resolution_bits)
+    ]
+    emit_result(
+        "table1_overhead",
+        "Table I — low-resolution channel overhead D_i (%)",
+        table(["bit resolution", "measured D_i %", "paper D_i %"], rows),
+    )

@@ -1,0 +1,237 @@
+"""Command-line interface to the hybrid CS ECG front-end.
+
+Four subcommands cover the everyday workflows:
+
+* ``repro synthesize`` — write synthetic database records as WFDB files;
+* ``repro compress``   — run a record through a front-end and report the
+  per-window quality/compression table;
+* ``repro tradeoff``   — the low-resolution channel design table
+  (Figs. 5-6 / Table I in one view);
+* ``repro power``      — the Section VI power comparison for a given pair
+  of operating points.
+
+Installed as ``repro`` via the console-script entry point, also runnable
+as ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+__all__ = ["build_parser", "main"]
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    from repro.signals.database import (
+        MITBIH_RECORD_NAMES,
+        load_record,
+        load_record_pair,
+    )
+    from repro.signals.wfdb_io import write_record, write_record_pair
+
+    names = args.records or list(MITBIH_RECORD_NAMES[: args.count])
+    out = Path(args.output)
+    for name in names:
+        if args.two_lead:
+            mlii, v5 = load_record_pair(
+                name, duration_s=args.duration, clean=args.clean
+            )
+            hea, dat = write_record_pair(mlii, v5, out)
+            print(f"wrote {hea} (2 leads, {len(mlii)} samples each)")
+        else:
+            record = load_record(
+                name, duration_s=args.duration, clean=args.clean
+            )
+            hea, dat = write_record(record, out)
+            print(
+                f"wrote {hea} ({len(record)} samples, "
+                f"{record.duration_s:.0f} s)"
+            )
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    from repro.core.config import FrontEndConfig
+    from repro.core.pipeline import default_codebook, run_record
+    from repro.recovery.pdhg import PdhgSettings
+    from repro.signals.database import load_record
+    from repro.signals.wfdb_io import read_record
+
+    if args.wfdb:
+        record = read_record(Path(args.wfdb))
+    else:
+        record = load_record(args.record, duration_s=args.duration)
+
+    config = FrontEndConfig(
+        window_len=args.window,
+        n_measurements=args.measurements,
+        lowres_bits=args.lowres_bits,
+        solver=PdhgSettings(max_iter=args.max_iter),
+    )
+    codebook = (
+        default_codebook(config.lowres_bits, config.acquisition_bits)
+        if args.method == "hybrid"
+        else None
+    )
+    outcome = run_record(
+        record,
+        config,
+        method=args.method,
+        codebook=codebook,
+        max_windows=args.max_windows,
+    )
+    print(
+        f"record {record.name} | method {args.method} | "
+        f"m={config.n_measurements} (CS CR {config.cs_cr_percent:.1f}%)"
+    )
+    print(f"{'win':>4} {'PRD %':>8} {'SNR dB':>8} {'net CR %':>9} {'iters':>6}")
+    for w in outcome.windows:
+        print(
+            f"{w.window_index:>4} {w.prd_percent:>8.2f} {w.snr_db:>8.2f} "
+            f"{w.budget.net_cr_percent:>9.2f} {w.solver_iterations:>6}"
+        )
+    print(
+        f"mean: PRD {outcome.mean_prd:.2f}% | SNR {outcome.mean_snr_db:.2f} dB | "
+        f"net CR {outcome.net_cr_percent:.2f}% | "
+        f"low-res overhead {outcome.lowres_overhead_percent:.2f}%"
+    )
+    return 0
+
+
+def _cmd_tradeoff(args: argparse.Namespace) -> int:
+    from repro.experiments.fig5_fig6_table1 import run_lowres_tradeoff
+    from repro.experiments.runner import ExperimentScale
+
+    scale = ExperimentScale(
+        record_names=tuple(args.records or ("100", "101", "103")),
+        duration_s=args.duration,
+        max_windows=None,
+    )
+    data = run_lowres_tradeoff(
+        resolutions=range(args.min_bits, args.max_bits + 1), scale=scale
+    )
+    print(f"{'bits':>4} {'entries':>8} {'flash B':>8} "
+          f"{'bits/smp':>9} {'overhead %':>11}")
+    for row in data.rows:
+        print(
+            f"{row.resolution_bits:>4} {row.codebook_entries:>8} "
+            f"{row.storage_bytes:>8} {row.bits_per_sample:>9.2f} "
+            f"{row.overhead_percent:>11.2f}"
+        )
+    return 0
+
+
+def _cmd_power(args: argparse.Namespace) -> int:
+    from repro.power.comparison import power_gain
+    from repro.power.rmpi_power import HybridArchitecture, RmpiArchitecture
+
+    normal = RmpiArchitecture(m=args.m_normal, n=args.window)
+    hybrid = HybridArchitecture(
+        cs=RmpiArchitecture(m=args.m_hybrid, n=args.window),
+        lowres_bits=args.lowres_bits,
+    )
+    print(f"fs = {args.fs:g} Hz, n = {args.window}")
+    for name, arch in (("normal RMPI", normal), ("hybrid CS", hybrid)):
+        b = arch.breakdown(args.fs)
+        uw = b.as_microwatts()
+        print(
+            f"  {name:<12} m={arch.m if hasattr(arch, 'm') else arch.cs.m:>4}  "
+            f"adc {uw['P[adc]']:.3g} uW | int {uw['P[Int]']:.3g} uW | "
+            f"amp {uw['P[amp]']:.3g} uW | total {uw['P[Total]']:.3g} uW"
+        )
+    gain = power_gain(
+        args.m_normal,
+        args.m_hybrid,
+        fs_hz=args.fs,
+        n=args.window,
+        lowres_bits=args.lowres_bits,
+    )
+    print(f"  power gain (normal/hybrid): {gain:.2f}x")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import build_report, write_report
+
+    results_dir = Path(args.results)
+    if args.output:
+        out = write_report(results_dir, Path(args.output))
+    else:
+        out = write_report(results_dir)
+    _, present, expected = build_report(results_dir)
+    print(f"wrote {out} ({present}/{expected} artifacts present)")
+    return 0 if present == expected or not args.strict else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hybrid compressed-sensing ECG front-end (DATE 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("synthesize", help="write synthetic records as WFDB files")
+    p.add_argument("--output", "-o", default="./records", help="output directory")
+    p.add_argument("--records", nargs="*", help="record names (default: first N)")
+    p.add_argument("--count", type=int, default=4, help="how many records")
+    p.add_argument("--duration", type=float, default=60.0, help="seconds per record")
+    p.add_argument("--clean", action="store_true", help="disable the noise model")
+    p.add_argument("--two-lead", action="store_true",
+                   help="write 2-signal records (MLII + V5), like real MIT-BIH")
+    p.set_defaults(func=_cmd_synthesize)
+
+    p = sub.add_parser("compress", help="compress + reconstruct one record")
+    p.add_argument("--record", default="100", help="synthetic record name")
+    p.add_argument("--wfdb", help="path to a WFDB .hea file (overrides --record)")
+    p.add_argument("--method", choices=("hybrid", "normal"), default="hybrid")
+    p.add_argument("--window", type=int, default=512)
+    p.add_argument("--measurements", "-m", type=int, default=96)
+    p.add_argument("--lowres-bits", type=int, default=7)
+    p.add_argument("--duration", type=float, default=30.0)
+    p.add_argument("--max-windows", type=int, default=4)
+    p.add_argument("--max-iter", type=int, default=3000)
+    p.set_defaults(func=_cmd_compress)
+
+    p = sub.add_parser("tradeoff", help="low-res channel design table")
+    p.add_argument("--records", nargs="*", help="training/eval records")
+    p.add_argument("--duration", type=float, default=30.0)
+    p.add_argument("--min-bits", type=int, default=3)
+    p.add_argument("--max-bits", type=int, default=10)
+    p.set_defaults(func=_cmd_tradeoff)
+
+    p = sub.add_parser("report", help="aggregate benchmark artifacts into REPORT.md")
+    p.add_argument("--results", default="benchmarks/results",
+                   help="directory holding the benchmark artifacts")
+    p.add_argument("--output", "-o", help="report path (default: <results>/REPORT.md)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero unless every expected artifact exists")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("power", help="Section VI power comparison")
+    p.add_argument("--m-normal", type=int, default=240)
+    p.add_argument("--m-hybrid", type=int, default=96)
+    p.add_argument("--window", type=int, default=512)
+    p.add_argument("--lowres-bits", type=int, default=7)
+    p.add_argument("--fs", type=float, default=360.0)
+    p.set_defaults(func=_cmd_power)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, KeyError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,205 @@
+"""Static arithmetic (range) coding over an arbitrary symbol alphabet.
+
+The paper commits to Huffman coding for the low-resolution stream
+(§III-B), which pays up to one bit of redundancy per *token*.  Arithmetic
+coding reaches the entropy asymptotically at the cost of multiplies the
+paper's node class avoids — making the Huffman-vs-arithmetic gap a design
+quantity worth measuring (``benchmarks/test_ablation_entropy_coder.py``).
+
+This is a classic 32-bit integer range coder with carry-free renormalized
+intervals (the Witten-Neal-Cleary construction): encoder and decoder walk
+the same cumulative-frequency table, so any trained token distribution
+(including the run-length tokens and the ESCAPE symbol) plugs in directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Mapping, Sequence, Tuple
+
+from repro.coding.bitstream import BitReader, BitWriter
+
+__all__ = ["ArithmeticModel", "ArithmeticCodec"]
+
+Symbol = Hashable
+
+_CODE_BITS = 32
+_TOP = (1 << _CODE_BITS) - 1
+_HALF = 1 << (_CODE_BITS - 1)
+_QUARTER = 1 << (_CODE_BITS - 2)
+_THREE_QUARTERS = _HALF + _QUARTER
+#: Total frequency mass is capped so `range * cum` fits in 64 bits.
+_MAX_TOTAL = 1 << 16
+
+
+@dataclass(frozen=True)
+class ArithmeticModel:
+    """Frozen cumulative-frequency model over a symbol alphabet.
+
+    Built from (unnormalized) frequencies; counts are rescaled to a
+    16-bit total, flooring every symbol at one count so the coder can
+    always represent any trained symbol.
+    """
+
+    symbols: Tuple[Symbol, ...]
+    cumulative: Tuple[int, ...]  # len(symbols) + 1, starting at 0
+
+    @staticmethod
+    def from_frequencies(frequencies: Mapping[Symbol, float]) -> "ArithmeticModel":
+        """Quantize a frequency table into a coder-ready model."""
+        if not frequencies:
+            raise ValueError("frequency table is empty")
+        items = sorted(frequencies.items(), key=lambda kv: str(kv[0]))
+        total = float(sum(f for _, f in items))
+        if total <= 0:
+            raise ValueError("frequencies must sum to a positive value")
+        budget = _MAX_TOTAL - len(items)  # reserve 1 per symbol
+        counts: List[int] = []
+        for _, freq in items:
+            if freq < 0:
+                raise ValueError("frequencies cannot be negative")
+            counts.append(1 + int(budget * freq / total))
+        cumulative = [0]
+        for c in counts:
+            cumulative.append(cumulative[-1] + c)
+        return ArithmeticModel(
+            symbols=tuple(s for s, _ in items), cumulative=tuple(cumulative)
+        )
+
+    @property
+    def total(self) -> int:
+        """Total frequency mass."""
+        return self.cumulative[-1]
+
+    def interval(self, symbol: Symbol) -> Tuple[int, int]:
+        """Half-open cumulative interval of a symbol."""
+        try:
+            idx = self.symbols.index(symbol)
+        except ValueError:
+            raise KeyError(f"symbol {symbol!r} not in model") from None
+        return self.cumulative[idx], self.cumulative[idx + 1]
+
+    def symbol_for(self, cum_value: int) -> Tuple[Symbol, int, int]:
+        """The symbol whose interval contains ``cum_value`` (binary search)."""
+        lo, hi = 0, len(self.symbols) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.cumulative[mid + 1] <= cum_value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self.symbols[lo], self.cumulative[lo], self.cumulative[lo + 1]
+
+
+class ArithmeticCodec:
+    """Encoder/decoder over a fixed :class:`ArithmeticModel`."""
+
+    def __init__(self, model: ArithmeticModel) -> None:
+        if model.total >= _QUARTER:
+            raise ValueError("model total too large for the coder precision")
+        self.model = model
+
+    # ------------------------------------------------------------------
+    def encode(self, symbols: Sequence[Symbol]) -> Tuple[bytes, int]:
+        """Encode a symbol sequence; returns ``(payload, bit_length)``."""
+        low = 0
+        high = _TOP
+        pending = 0
+        writer = BitWriter()
+
+        def emit(bit: int) -> None:
+            nonlocal pending
+            writer.write_bit(bit)
+            while pending:
+                writer.write_bit(1 - bit)
+                pending -= 1
+
+        total = self.model.total
+        for sym in symbols:
+            c_lo, c_hi = self.model.interval(sym)
+            span = high - low + 1
+            high = low + span * c_hi // total - 1
+            low = low + span * c_lo // total
+            while True:
+                if high < _HALF:
+                    emit(0)
+                elif low >= _HALF:
+                    emit(1)
+                    low -= _HALF
+                    high -= _HALF
+                elif low >= _QUARTER and high < _THREE_QUARTERS:
+                    pending += 1
+                    low -= _QUARTER
+                    high -= _QUARTER
+                else:
+                    break
+                low = low * 2
+                high = high * 2 + 1
+        # Flush: disambiguate the final interval.
+        pending += 1
+        emit(0 if low < _QUARTER else 1)
+        return writer.getvalue(), writer.bit_length
+
+    def decode(
+        self, payload: bytes, n_symbols: int, bit_length: int | None = None
+    ) -> List[Symbol]:
+        """Decode exactly ``n_symbols`` symbols."""
+        if n_symbols < 0:
+            raise ValueError("n_symbols cannot be negative")
+        reader = BitReader(payload, bit_length)
+
+        def next_bit() -> int:
+            try:
+                return reader.read_bit()
+            except EOFError:
+                return 0  # the stream is padded with zeros conceptually
+
+        low = 0
+        high = _TOP
+        value = 0
+        for _ in range(_CODE_BITS):
+            value = (value << 1) | next_bit()
+
+        total = self.model.total
+        out: List[Symbol] = []
+        for _ in range(n_symbols):
+            span = high - low + 1
+            cum = ((value - low + 1) * total - 1) // span
+            sym, c_lo, c_hi = self.model.symbol_for(cum)
+            out.append(sym)
+            high = low + span * c_hi // total - 1
+            low = low + span * c_lo // total
+            while True:
+                if high < _HALF:
+                    pass
+                elif low >= _HALF:
+                    low -= _HALF
+                    high -= _HALF
+                    value -= _HALF
+                elif low >= _QUARTER and high < _THREE_QUARTERS:
+                    low -= _QUARTER
+                    high -= _QUARTER
+                    value -= _QUARTER
+                else:
+                    break
+                low = low * 2
+                high = high * 2 + 1
+                value = value * 2 + next_bit()
+        return out
+
+    def mean_bits_per_symbol(self, frequencies: Mapping[Symbol, float]) -> float:
+        """Expected code length under the model for a true distribution
+        (cross-entropy in bits) — the analytic counterpart of measuring
+        an encoded stream."""
+        import math
+
+        total_freq = float(sum(frequencies.values()))
+        if total_freq <= 0:
+            raise ValueError("frequencies sum to zero")
+        bits = 0.0
+        model_total = self.model.total
+        for sym, freq in frequencies.items():
+            c_lo, c_hi = self.model.interval(sym)
+            p_model = (c_hi - c_lo) / model_total
+            bits += (freq / total_freq) * -math.log2(p_model)
+        return bits

@@ -1,0 +1,202 @@
+"""Lossy-link simulation: bit errors and packet erasures.
+
+A WBSN radio link drops and corrupts frames; a deployable front-end must
+degrade gracefully.  The two packet fields fail very differently:
+
+* a corrupted **CS measurement** adds bounded noise to ``y`` — convex
+  recovery absorbs it through σ (and the hybrid's box caps the damage);
+* a corrupted **Huffman payload** desynchronizes the variable-length
+  decode for the rest of the window.
+
+:class:`LossyLink` injects both kinds of impairment; :class:`RobustReceiver`
+wraps :class:`~repro.core.receiver.HybridReceiver` with the standard
+mitigations — payload CRC to detect low-res corruption and fall back to
+normal-CS recovery for that window, and per-window independence so packet
+erasures cost exactly one window (concealed by zero-order hold).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.coding.bitstream import BitReader, BitWriter
+from repro.core.config import FrontEndConfig
+from repro.core.packets import WindowPacket
+from repro.core.receiver import HybridReceiver, WindowReconstruction
+
+__all__ = ["LossyLink", "RobustReceiver", "payload_crc"]
+
+
+def payload_crc(packet: WindowPacket) -> int:
+    """CRC-32 of a packet's semantic content (codes + low-res payload)."""
+    h = zlib.crc32(packet.measurement_codes.astype("<i8").tobytes())
+    h = zlib.crc32(packet.lowres_payload, h)
+    h = zlib.crc32(packet.lowres_bit_length.to_bytes(4, "little"), h)
+    return h & 0xFFFFFFFF
+
+
+@dataclass
+class LossyLink:
+    """A bit-error / packet-erasure channel for :class:`WindowPacket`.
+
+    Attributes
+    ----------
+    bit_error_rate:
+        Probability of flipping each payload bit (applied independently
+        to measurement codes and the low-res payload).
+    packet_erasure_rate:
+        Probability a whole packet never arrives.
+    seed:
+        Randomness seed (deterministic channel realizations).
+    """
+
+    bit_error_rate: float = 0.0
+    packet_erasure_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.bit_error_rate < 1.0:
+            raise ValueError("bit_error_rate must be in [0, 1)")
+        if not 0.0 <= self.packet_erasure_rate < 1.0:
+            raise ValueError("packet_erasure_rate must be in [0, 1)")
+        self._rng = np.random.default_rng(self.seed)
+
+    def _flip_bits(self, data: bytes, n_bits: int) -> bytes:
+        if not data or self.bit_error_rate == 0.0:
+            return data
+        arr = np.frombuffer(data, dtype=np.uint8).copy()
+        total_bits = min(n_bits, arr.size * 8)
+        flips = self._rng.uniform(size=total_bits) < self.bit_error_rate
+        for pos in np.nonzero(flips)[0]:
+            arr[pos // 8] ^= 1 << (7 - pos % 8)
+        return arr.tobytes()
+
+    def transmit(self, packet: WindowPacket) -> Optional[WindowPacket]:
+        """Push one packet through the channel.
+
+        Returns ``None`` for an erasure, otherwise a (possibly corrupted)
+        packet.  The header is assumed protected (real links CRC and
+        retransmit the few header bytes; it is the payload that is big).
+        """
+        if self._rng.uniform() < self.packet_erasure_rate:
+            return None
+        if self.bit_error_rate == 0.0:
+            return packet
+
+        # Corrupt measurement codes bit-by-bit on their serialized form.
+        writer = BitWriter()
+        for code in packet.measurement_codes:
+            writer.write_uint(int(code), packet.measurement_bits)
+        code_bytes = self._flip_bits(writer.getvalue(), writer.bit_length)
+        reader = BitReader(code_bytes, writer.bit_length)
+        codes = np.array(
+            [reader.read_uint(packet.measurement_bits) for _ in range(packet.m)],
+            dtype=np.int64,
+        )
+        payload = self._flip_bits(packet.lowres_payload, packet.lowres_bit_length)
+        return WindowPacket(
+            window_index=packet.window_index,
+            n=packet.n,
+            measurement_codes=codes,
+            measurement_bits=packet.measurement_bits,
+            lowres_payload=payload,
+            lowres_bit_length=packet.lowres_bit_length,
+        )
+
+
+class RobustReceiver:
+    """A :class:`HybridReceiver` hardened for lossy links.
+
+    Strategy per window:
+
+    * **erasure** → conceal with the previous window's reconstruction
+      (zero-order hold), or the configured baseline for the first window;
+    * **low-res payload CRC mismatch** → decode the window from the CS
+      measurements alone (normal-CS fallback: degraded, not corrupt);
+    * **payload decode failure** (desync despite matching CRC, or absent
+      CRC) → same CS-only fallback.
+    """
+
+    def __init__(self, config: FrontEndConfig, codebook) -> None:
+        self.config = config
+        self._receiver = HybridReceiver(config, codebook)
+        self._normal_receiver = HybridReceiver(config)
+        self._last_codes: Optional[np.ndarray] = None
+
+    def _conceal(self, window_index: int) -> WindowReconstruction:
+        center = 1 << (self.config.acquisition_bits - 1)
+        if self._last_codes is not None:
+            codes = self._last_codes.copy()
+        else:
+            codes = np.full(self.config.window_len, float(center))
+        from repro.recovery.result import RecoveryResult
+
+        dummy = RecoveryResult(
+            alpha=np.zeros(self.config.window_len),
+            x=codes - center,
+            iterations=0,
+            converged=False,
+            residual_norm=float("nan"),
+            objective=float("nan"),
+            solver="concealment",
+        )
+        return WindowReconstruction(
+            window_index=window_index,
+            x_codes=codes,
+            recovery=dummy,
+            lowres_codes=None,
+        )
+
+    def receive(
+        self,
+        packet: Optional[WindowPacket],
+        expected_crc: Optional[int] = None,
+        window_index: int = 0,
+    ) -> Tuple[WindowReconstruction, str]:
+        """Reconstruct one (possibly impaired) window.
+
+        Returns ``(reconstruction, mode)`` with mode one of ``"hybrid"``,
+        ``"cs-fallback"`` or ``"concealed"``.
+        """
+        if packet is None:
+            return self._conceal(window_index), "concealed"
+
+        use_hybrid = packet.lowres_bit_length > 0
+        if use_hybrid and expected_crc is not None:
+            use_hybrid = payload_crc(packet) == expected_crc
+
+        if use_hybrid:
+            try:
+                recon = self._receiver.reconstruct(packet)
+                self._last_codes = recon.x_codes
+                return recon, "hybrid"
+            except (ValueError, EOFError):
+                pass  # desynchronized payload: fall back below
+
+        stripped = WindowPacket(
+            window_index=packet.window_index,
+            n=packet.n,
+            measurement_codes=packet.measurement_codes,
+            measurement_bits=packet.measurement_bits,
+            lowres_payload=b"",
+            lowres_bit_length=0,
+        )
+        recon = self._normal_receiver.reconstruct(stripped)
+        self._last_codes = recon.x_codes
+        return recon, "cs-fallback"
+
+    def receive_stream(
+        self,
+        packets: List[Optional[WindowPacket]],
+        crcs: Optional[List[int]] = None,
+    ) -> List[Tuple[WindowReconstruction, str]]:
+        """Receive a window sequence, applying concealment statefully."""
+        out = []
+        for idx, packet in enumerate(packets):
+            crc = crcs[idx] if crcs is not None else None
+            out.append(self.receive(packet, crc, window_index=idx))
+        return out

@@ -1,0 +1,186 @@
+"""Node-side front-ends: hybrid (CS + low-res) and normal CS.
+
+:class:`HybridFrontEnd` implements the transmitter half of the paper's
+Fig. 1: every fixed window of acquisition codes is
+
+1. measured by the CS path — the RMPI-equivalent ``y = Φ x`` on the
+   baseline-centered window, digitized at ``measurement_bits``;
+2. re-quantized to ``lowres_bits`` on the parallel path, differenced and
+   Huffman-coded with the offline codebook;
+3. framed into a :class:`~repro.core.packets.WindowPacket`.
+
+:class:`NormalCsFrontEnd` is the single-path baseline ("CS" in Figs. 7-8):
+identical CS path, no parallel channel.
+
+Both are deterministic functions of the shared
+:class:`~repro.core.config.FrontEndConfig` (plus the trained codebook), so
+a receiver built from the same config can invert every step that is
+invertible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.coding.codebook import DifferenceCodebook
+from repro.core.config import FrontEndConfig
+from repro.core.packets import WindowPacket
+from repro.core.windowing import WindowFramer
+from repro.sensing.quantizers import (
+    UniformQuantizer,
+    measurement_quantizer,
+    requantize_codes,
+)
+from repro.signals.records import Record
+
+__all__ = ["HybridFrontEnd", "NormalCsFrontEnd"]
+
+
+class _CsPath:
+    """Shared CS-path machinery: Φ construction and measurement ADC."""
+
+    def __init__(self, config: FrontEndConfig) -> None:
+        self.config = config
+        self.phi = config.sensing.build(config.n_measurements, config.window_len)
+        # Signals are centered codes, bounded by half the acquisition range.
+        self.center = 1 << (config.acquisition_bits - 1)
+        self.quantizer: UniformQuantizer = measurement_quantizer(
+            self.phi, float(self.center), config.measurement_bits
+        )
+
+    def check_window(self, codes: np.ndarray) -> np.ndarray:
+        arr = np.asarray(codes)
+        if arr.ndim != 1 or arr.size != self.config.window_len:
+            raise ValueError(
+                f"expected a window of {self.config.window_len} samples"
+            )
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise TypeError("windows must be integer acquisition codes")
+        if arr.size and (
+            arr.min() < 0 or arr.max() >= (1 << self.config.acquisition_bits)
+        ):
+            raise ValueError(
+                f"codes out of range for {self.config.acquisition_bits}-bit acquisition"
+            )
+        return arr
+
+    def measure(self, codes: np.ndarray) -> np.ndarray:
+        """CS measurement codes for one window of acquisition codes."""
+        centered = self.check_window(codes).astype(float) - self.center
+        y = self.phi @ centered
+        return self.quantizer.quantize(y)
+
+
+class HybridFrontEnd:
+    """The transmitter of the hybrid front-end (paper Fig. 1).
+
+    Parameters
+    ----------
+    config:
+        Shared link configuration.
+    codebook:
+        Offline-trained difference codebook; its resolution must match
+        ``config.lowres_bits``.
+    """
+
+    def __init__(self, config: FrontEndConfig, codebook: DifferenceCodebook) -> None:
+        if codebook.resolution_bits != config.lowres_bits:
+            raise ValueError(
+                f"codebook trained for {codebook.resolution_bits}-bit streams but "
+                f"config uses {config.lowres_bits}-bit low-res channel"
+            )
+        self.config = config
+        self.codebook = codebook
+        self._cs = _CsPath(config)
+
+    @property
+    def phi(self) -> np.ndarray:
+        """The CS path's sensing matrix (receiver rebuilds it from config)."""
+        return self._cs.phi
+
+    def lowres_codes(self, codes: np.ndarray) -> np.ndarray:
+        """The parallel channel's B-bit output for one window."""
+        arr = self._cs.check_window(codes)
+        return requantize_codes(
+            arr, self.config.acquisition_bits, self.config.lowres_bits
+        )
+
+    def process_window(self, codes: np.ndarray, window_index: int = 0) -> WindowPacket:
+        """Acquire and frame one window of acquisition codes."""
+        y_codes = self._cs.measure(codes)
+        lowres = self.lowres_codes(codes)
+        payload, bit_length = self.codebook.encode_window(lowres)
+        return WindowPacket(
+            window_index=window_index,
+            n=self.config.window_len,
+            measurement_codes=y_codes,
+            measurement_bits=self.config.measurement_bits,
+            lowres_payload=payload,
+            lowres_bit_length=bit_length,
+        )
+
+    def process_stream(self, samples: Iterable[np.ndarray]) -> List[WindowPacket]:
+        """Frame an arbitrary chunked sample stream into packets."""
+        framer = WindowFramer(self.config.window_len)
+        packets: List[WindowPacket] = []
+        for chunk in samples:
+            for window in framer.push(np.asarray(chunk)):
+                packets.append(self.process_window(window, len(packets)))
+        return packets
+
+    def process_record(
+        self, record: Record, max_windows: Optional[int] = None
+    ) -> List[WindowPacket]:
+        """Process a whole record window by window."""
+        if record.header.resolution_bits != self.config.acquisition_bits:
+            raise ValueError(
+                "record resolution does not match the configured acquisition depth"
+            )
+        packets: List[WindowPacket] = []
+        for idx, window in enumerate(record.windows(self.config.window_len)):
+            if max_windows is not None and idx >= max_windows:
+                break
+            packets.append(self.process_window(window, idx))
+        return packets
+
+
+class NormalCsFrontEnd:
+    """Single-path CS transmitter — the paper's "normal CS" baseline."""
+
+    def __init__(self, config: FrontEndConfig) -> None:
+        self.config = config
+        self._cs = _CsPath(config)
+
+    @property
+    def phi(self) -> np.ndarray:
+        """The sensing matrix."""
+        return self._cs.phi
+
+    def process_window(self, codes: np.ndarray, window_index: int = 0) -> WindowPacket:
+        """Acquire and frame one window (empty low-res payload)."""
+        y_codes = self._cs.measure(codes)
+        return WindowPacket(
+            window_index=window_index,
+            n=self.config.window_len,
+            measurement_codes=y_codes,
+            measurement_bits=self.config.measurement_bits,
+            lowres_payload=b"",
+            lowres_bit_length=0,
+        )
+
+    def process_record(
+        self, record: Record, max_windows: Optional[int] = None
+    ) -> List[WindowPacket]:
+        """Process a whole record window by window."""
+        if record.header.resolution_bits != self.config.acquisition_bits:
+            raise ValueError(
+                "record resolution does not match the configured acquisition depth"
+            )
+        packets: List[WindowPacket] = []
+        for idx, window in enumerate(record.windows(self.config.window_len)):
+            if max_windows is not None and idx >= max_windows:
+                break
+            packets.append(self.process_window(window, idx))
+        return packets

@@ -1,0 +1,173 @@
+"""Transmit frame format for one processing window (paper Fig. 1: both
+paths' data are "transmitted at a fixed time window").
+
+The node serializes, per window:
+
+* a fixed header (window index, window length, measurement count, payload
+  bit length),
+* the CS path: ``m`` measurement codes at ``measurement_bits`` each,
+* the low-res path: the Huffman-coded difference payload.
+
+Everything the receiver additionally needs (chipping seed, codebook,
+quantizer scaling) is part of the shared :class:`~repro.core.config.
+FrontEndConfig`, exactly like the offline-agreed state of a real link.
+Serialization is bit-exact and round-trips through :meth:`WindowPacket.
+to_bytes` / :meth:`WindowPacket.from_bytes`; all compression ratios in the
+experiments are measured on these frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.coding.bitstream import BitReader, BitWriter
+from repro.metrics.compression import CompressionBudget, ORIGINAL_RESOLUTION_BITS
+
+__all__ = ["WindowPacket", "HEADER_BITS"]
+
+#: Fixed per-window header: index (32) + n (16) + m (16) + payload bits (32).
+HEADER_BITS = 32 + 16 + 16 + 32
+
+
+@dataclass(frozen=True)
+class WindowPacket:
+    """One window's transmitted data.
+
+    Attributes
+    ----------
+    window_index:
+        Sequence number of the window in the stream.
+    n:
+        Window length in Nyquist samples.
+    measurement_codes:
+        The ``m`` quantized CS measurements as unsigned ADC codes.
+    measurement_bits:
+        Bits per measurement code.
+    lowres_payload:
+        Huffman-coded low-resolution difference stream (byte-padded).
+    lowres_bit_length:
+        Exact number of meaningful bits in ``lowres_payload``.
+    """
+
+    window_index: int
+    n: int
+    measurement_codes: np.ndarray
+    measurement_bits: int
+    lowres_payload: bytes
+    lowres_bit_length: int
+
+    def __post_init__(self) -> None:
+        codes = np.asarray(self.measurement_codes)
+        if codes.ndim != 1:
+            raise ValueError("measurement codes must be a vector")
+        if not np.issubdtype(codes.dtype, np.integer):
+            raise TypeError("measurement codes must be integers")
+        if self.measurement_bits <= 0:
+            raise ValueError("measurement_bits must be positive")
+        if codes.size and (
+            codes.min() < 0 or codes.max() >= (1 << self.measurement_bits)
+        ):
+            raise ValueError("measurement codes out of range")
+        if self.window_index < 0 or self.n <= 0:
+            raise ValueError("invalid header fields")
+        if self.lowres_bit_length > len(self.lowres_payload) * 8:
+            raise ValueError("payload bit length exceeds the payload buffer")
+        object.__setattr__(self, "measurement_codes", codes.astype(np.int64))
+
+    @property
+    def m(self) -> int:
+        """Number of CS measurements in the frame."""
+        return int(self.measurement_codes.size)
+
+    @property
+    def cs_bits(self) -> int:
+        """Bits spent on the CS path."""
+        return self.m * self.measurement_bits
+
+    @property
+    def total_bits(self) -> int:
+        """Every transmitted bit: header + CS codes + low-res payload."""
+        return HEADER_BITS + self.cs_bits + self.lowres_bit_length
+
+    def budget(
+        self, original_bits_per_sample: int = ORIGINAL_RESOLUTION_BITS
+    ) -> CompressionBudget:
+        """Full bit accounting of this window against the original signal."""
+        return CompressionBudget(
+            n_samples=self.n,
+            original_bits=self.n * original_bits_per_sample,
+            cs_bits=self.cs_bits,
+            lowres_bits=self.lowres_bit_length,
+            header_bits=HEADER_BITS,
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the on-air byte representation."""
+        writer = BitWriter()
+        writer.write_uint(self.window_index, 32)
+        writer.write_uint(self.n, 16)
+        writer.write_uint(self.m, 16)
+        writer.write_uint(self.lowres_bit_length, 32)
+        for code in self.measurement_codes:
+            writer.write_uint(int(code), self.measurement_bits)
+        reader = BitReader(self.lowres_payload, self.lowres_bit_length)
+        for _ in range(self.lowres_bit_length):
+            writer.write_bit(reader.read_bit())
+        return writer.getvalue()
+
+    @staticmethod
+    def from_bytes(data: bytes, measurement_bits: int) -> "WindowPacket":
+        """Parse a frame produced by :meth:`to_bytes`.
+
+        ``measurement_bits`` comes from the shared config (it is offline
+        state, not per-frame signalling).
+        """
+        reader = BitReader(data)
+        window_index = reader.read_uint(32)
+        n = reader.read_uint(16)
+        m = reader.read_uint(16)
+        lowres_bit_length = reader.read_uint(32)
+        codes = np.array(
+            [reader.read_uint(measurement_bits) for _ in range(m)], dtype=np.int64
+        )
+        payload_writer = BitWriter()
+        for _ in range(lowres_bit_length):
+            payload_writer.write_bit(reader.read_bit())
+        return WindowPacket(
+            window_index=window_index,
+            n=n,
+            measurement_codes=codes,
+            measurement_bits=measurement_bits,
+            lowres_payload=payload_writer.getvalue(),
+            lowres_bit_length=lowres_bit_length,
+        )
+
+
+def split_stream(
+    data: bytes, measurement_bits: int, n_packets: int
+) -> Tuple[WindowPacket, ...]:
+    """Parse ``n_packets`` back-to-back byte-aligned frames.
+
+    Each frame's byte length is recomputed from its header, mirroring a
+    receiver draining a radio FIFO.
+    """
+    packets = []
+    offset = 0
+    for _ in range(n_packets):
+        head = BitReader(data[offset : offset + (HEADER_BITS // 8)])
+        head.read_uint(32)
+        head.read_uint(16)
+        m = head.read_uint(16)
+        lowres_bits = head.read_uint(32)
+        frame_bits = HEADER_BITS + m * measurement_bits + lowres_bits
+        frame_bytes = (frame_bits + 7) // 8
+        packets.append(
+            WindowPacket.from_bytes(
+                data[offset : offset + frame_bytes], measurement_bits
+            )
+        )
+        offset += frame_bytes
+    return tuple(packets)

@@ -1,0 +1,160 @@
+"""Receiver-side decode and reconstruction (right half of paper Fig. 1).
+
+From a :class:`~repro.core.packets.WindowPacket` and the shared config,
+the receiver
+
+1. rebuilds the sensing matrix and measurement quantizer (offline state),
+2. dequantizes the CS measurements and sizes the fidelity radius σ from
+   the known quantization noise,
+3. decodes the Huffman low-res payload back into the B-bit samples and
+   converts them to the per-sample box ``[x_dot, x_dot + d - 1]`` on the
+   acquisition-code grid (the Eq. 1 bounds),
+4. solves hybrid BPDN (Eq. 1) — or plain BPDN for a normal-CS packet —
+   and returns the reconstruction in acquisition-code units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.coding.codebook import DifferenceCodebook
+from repro.core.config import FrontEndConfig
+from repro.core.packets import WindowPacket
+from repro.recovery.bpdn import solve_bpdn
+from repro.recovery.hybrid import solve_hybrid
+from repro.recovery.problem import CsProblem
+from repro.recovery.result import RecoveryResult
+from repro.sensing.quantizers import lowres_bounds, measurement_quantizer
+from repro.wavelets.operators import make_basis
+
+__all__ = ["WindowReconstruction", "HybridReceiver"]
+
+
+@dataclass(frozen=True)
+class WindowReconstruction:
+    """Receiver output for one window.
+
+    ``x_codes`` is the reconstructed waveform on the (float) acquisition-
+    code grid, directly comparable to ``record.adu``; ``recovery`` carries
+    the solver diagnostics; ``lowres_codes`` is the decoded parallel-path
+    stream (``None`` for normal-CS packets).
+    """
+
+    window_index: int
+    x_codes: np.ndarray
+    recovery: RecoveryResult
+    lowres_codes: Optional[np.ndarray]
+
+    def x_centered(self, center: int) -> np.ndarray:
+        """The reconstruction re-centered (baseline removed)."""
+        return self.x_codes - center
+
+
+class HybridReceiver:
+    """Decodes packets produced by either front-end under a shared config.
+
+    Parameters
+    ----------
+    config:
+        Must equal the transmitter's config.
+    codebook:
+        The shared offline codebook; only needed to decode hybrid packets
+        (may be ``None`` for a normal-CS-only receiver).
+    """
+
+    def __init__(
+        self,
+        config: FrontEndConfig,
+        codebook: Optional[DifferenceCodebook] = None,
+    ) -> None:
+        if codebook is not None and codebook.resolution_bits != config.lowres_bits:
+            raise ValueError("codebook resolution does not match the config")
+        self.config = config
+        self.codebook = codebook
+        self.basis = make_basis(config.window_len, config.basis_spec)
+        self.phi = config.sensing.build(config.n_measurements, config.window_len)
+        self.center = 1 << (config.acquisition_bits - 1)
+        self.quantizer = measurement_quantizer(
+            self.phi, float(self.center), config.measurement_bits
+        )
+        # Composed operator cache shared across windows.
+        self.problem = CsProblem(self.phi, self.basis)
+
+    def sigma(self) -> float:
+        """Fidelity radius for Eq. 1 from measurement-quantization noise.
+
+        Per-measurement quantization error is uniform in ``±step/2``
+        (variance ``step^2/12``); the 2-norm over ``m`` measurements
+        concentrates around ``sqrt(m) * step / sqrt(12)`` and
+        ``sigma_safety`` adds slack for the tail.
+        """
+        m = self.config.n_measurements
+        return (
+            self.config.sigma_safety
+            * np.sqrt(m)
+            * self.quantizer.step
+            / np.sqrt(12.0)
+        )
+
+    def decode_measurements(self, packet: WindowPacket) -> np.ndarray:
+        """Measurement codes back to (centered-code-domain) values."""
+        return self.quantizer.reconstruct(packet.measurement_codes)
+
+    def decode_lowres(self, packet: WindowPacket) -> np.ndarray:
+        """The parallel path's B-bit samples from the Huffman payload."""
+        if self.codebook is None:
+            raise ValueError("receiver has no codebook to decode low-res payloads")
+        if packet.lowres_bit_length == 0:
+            raise ValueError("packet carries no low-res payload")
+        return self.codebook.decode_window(
+            packet.lowres_payload, packet.n, packet.lowres_bit_length
+        )
+
+    def reconstruct(self, packet: WindowPacket) -> WindowReconstruction:
+        """Full receiver pipeline for one packet.
+
+        Hybrid packets (non-empty low-res payload) get the Eq. 1 solve;
+        normal-CS packets fall back to plain BPDN.
+        """
+        if packet.n != self.config.window_len:
+            raise ValueError("packet window length does not match the config")
+        if packet.m != self.config.n_measurements:
+            raise ValueError("packet measurement count does not match the config")
+        y = self.decode_measurements(packet)
+        sigma = self.sigma()
+
+        if packet.lowres_bit_length > 0:
+            lowres = self.decode_lowres(packet)
+            lower, upper = lowres_bounds(
+                lowres, self.config.acquisition_bits, self.config.lowres_bits
+            )
+            result = solve_hybrid(
+                self.phi,
+                self.basis,
+                y,
+                sigma,
+                lower - self.center,
+                upper - self.center,
+                settings=self.config.solver,
+                problem=self.problem,
+            )
+        else:
+            lowres = None
+            result = solve_bpdn(
+                self.phi,
+                self.basis,
+                y,
+                sigma,
+                settings=self.config.solver,
+                problem=self.problem,
+            )
+        x_codes = result.x + self.center
+        return WindowReconstruction(
+            window_index=packet.window_index,
+            x_codes=x_codes,
+            recovery=result,
+            lowres_codes=lowres,
+        )

@@ -1,0 +1,84 @@
+"""Fixed-size window framing of an incoming sample stream.
+
+The front-end processes the signal in fixed windows (paper Fig. 1: both
+paths transmit per "fixed time window").  :class:`WindowFramer` is a tiny
+streaming re-blocker: push arbitrary-length chunks of samples in, get
+complete windows out — mirroring how an on-node DMA/interrupt pipeline
+hands data to the compression stage.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+__all__ = ["WindowFramer"]
+
+
+class WindowFramer:
+    """Re-blocks a sample stream into fixed-length windows.
+
+    Parameters
+    ----------
+    window_len:
+        Samples per emitted window.
+
+    Examples
+    --------
+    >>> framer = WindowFramer(4)
+    >>> [w.tolist() for w in framer.push(np.arange(6))]
+    [[0, 1, 2, 3]]
+    >>> [w.tolist() for w in framer.push(np.arange(6, 9))]
+    [[4, 5, 6, 7]]
+    >>> framer.pending
+    1
+    """
+
+    def __init__(self, window_len: int) -> None:
+        if window_len <= 0:
+            raise ValueError("window_len must be positive")
+        self.window_len = window_len
+        self._buffer: List[np.ndarray] = []
+        self._buffered = 0
+        self._emitted = 0
+
+    @property
+    def pending(self) -> int:
+        """Samples buffered but not yet emitted."""
+        return self._buffered
+
+    @property
+    def windows_emitted(self) -> int:
+        """Complete windows produced so far."""
+        return self._emitted
+
+    def push(self, samples: np.ndarray) -> Iterator[np.ndarray]:
+        """Feed samples; yield every complete window that becomes available.
+
+        Samples are yielded in arrival order with no gaps or overlaps; a
+        trailing partial window stays buffered for the next push.
+        """
+        arr = np.asarray(samples)
+        if arr.ndim != 1:
+            raise ValueError("samples must be 1-D")
+        if arr.size:
+            self._buffer.append(arr)
+            self._buffered += arr.size
+        while self._buffered >= self.window_len:
+            chunk = np.concatenate(self._buffer) if len(self._buffer) > 1 else self._buffer[0]
+            window = chunk[: self.window_len]
+            rest = chunk[self.window_len :]
+            self._buffer = [rest] if rest.size else []
+            self._buffered = rest.size
+            self._emitted += 1
+            yield window
+
+    def flush(self) -> np.ndarray:
+        """Return (and clear) any buffered partial window."""
+        if not self._buffer:
+            return np.empty(0, dtype=int)
+        chunk = np.concatenate(self._buffer) if len(self._buffer) > 1 else self._buffer[0]
+        self._buffer = []
+        self._buffered = 0
+        return chunk

@@ -1,0 +1,159 @@
+"""Disk-backed memoization of pipeline outcomes for large sweeps.
+
+A full-scale Fig. 7 sweep is 48 records × 9 CRs × 2 methods of convex
+solves; at ~0.1-1 s per window that is real wall-clock.  Every outcome is
+a pure function of ``(record identity, config, method, window count)``
+(tested by ``tests/integration/test_paper_invariants.py``), so results can
+be cached on disk and sweeps resumed across processes.
+
+The cache key hashes the full config (solver settings included) plus the
+record's identity; any parameter change misses cleanly.  Storage is one
+small JSON file per outcome under the cache directory — trivially
+inspectable and deletable.
+
+Opt-in: pass a :class:`SweepCache` to
+:func:`repro.experiments.runner.sweep_compression_ratios`, or set the
+``REPRO_CACHE_DIR`` environment variable to enable it in benchmarks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.core.config import FrontEndConfig
+from repro.core.pipeline import RecordOutcome, WindowOutcome
+from repro.metrics.compression import CompressionBudget
+
+__all__ = ["config_fingerprint", "SweepCache", "cache_from_env"]
+
+
+def config_fingerprint(config: FrontEndConfig) -> str:
+    """Stable short hash of every config field (solver settings included)."""
+    payload = {
+        "window_len": config.window_len,
+        "n_measurements": config.n_measurements,
+        "lowres_bits": config.lowres_bits,
+        "acquisition_bits": config.acquisition_bits,
+        "measurement_bits": config.measurement_bits,
+        "basis_spec": config.basis_spec,
+        "sensing": asdict(config.sensing),
+        "solver": asdict(config.solver),
+        "sigma_safety": config.sigma_safety,
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:20]
+
+
+def _outcome_to_dict(outcome: RecordOutcome) -> dict:
+    return {
+        "record_name": outcome.record_name,
+        "method": outcome.method,
+        "windows": [
+            {
+                "window_index": w.window_index,
+                "prd_percent": w.prd_percent,
+                "snr_db": w.snr_db,
+                "solver_iterations": w.solver_iterations,
+                "solver_converged": w.solver_converged,
+                "budget": {
+                    "n_samples": w.budget.n_samples,
+                    "original_bits": w.budget.original_bits,
+                    "cs_bits": w.budget.cs_bits,
+                    "lowres_bits": w.budget.lowres_bits,
+                    "header_bits": w.budget.header_bits,
+                },
+            }
+            for w in outcome.windows
+        ],
+    }
+
+
+def _outcome_from_dict(data: dict) -> RecordOutcome:
+    windows = tuple(
+        WindowOutcome(
+            window_index=w["window_index"],
+            prd_percent=w["prd_percent"],
+            snr_db=w["snr_db"],
+            budget=CompressionBudget(**w["budget"]),
+            solver_iterations=w["solver_iterations"],
+            solver_converged=w["solver_converged"],
+        )
+        for w in data["windows"]
+    )
+    return RecordOutcome(
+        record_name=data["record_name"],
+        method=data["method"],
+        windows=windows,
+    )
+
+
+class SweepCache:
+    """File-per-outcome cache of :class:`RecordOutcome` values."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(
+        self,
+        record_name: str,
+        duration_s: float,
+        config: FrontEndConfig,
+        method: str,
+        max_windows: Optional[int],
+    ) -> Path:
+        key = (
+            f"{record_name}-{duration_s:g}-{method}-"
+            f"{max_windows if max_windows is not None else 'all'}-"
+            f"{config_fingerprint(config)}"
+        )
+        return self.directory / f"{key}.json"
+
+    def get_or_run(
+        self,
+        record_name: str,
+        duration_s: float,
+        config: FrontEndConfig,
+        method: str,
+        max_windows: Optional[int],
+        runner: Callable[[], RecordOutcome],
+    ) -> RecordOutcome:
+        """Return the cached outcome, or compute, persist and return it.
+
+        A corrupt cache file is treated as a miss and overwritten.
+        """
+        path = self._path(record_name, duration_s, config, method, max_windows)
+        if path.exists():
+            try:
+                outcome = _outcome_from_dict(json.loads(path.read_text()))
+                self.hits += 1
+                return outcome
+            except (ValueError, KeyError, TypeError):
+                path.unlink(missing_ok=True)
+        self.misses += 1
+        outcome = runner()
+        path.write_text(json.dumps(_outcome_to_dict(outcome)))
+        return outcome
+
+    def clear(self) -> int:
+        """Delete every cached outcome; returns the number removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+
+def cache_from_env() -> Optional[SweepCache]:
+    """A :class:`SweepCache` at ``$REPRO_CACHE_DIR``, or None if unset."""
+    directory = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if not directory:
+        return None
+    return SweepCache(Path(directory))

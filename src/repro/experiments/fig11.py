@@ -1,0 +1,90 @@
+"""Fig. 11 driver: power-consumption breakdown vs sampling frequency.
+
+The paper sweeps the Nyquist sampling frequency from 100 Hz to 100 MHz and
+plots the per-block power (ADC, integrator, amplifier, total) for the
+normal RMPI (m = 240) and the hybrid design (m = 96), both sized for
+SNR = 20 dB.  Two qualitative facts carry the section: the amplifier array
+dominates by a large margin, and total power scales with the channel count
+— giving the hybrid a ~2.5x advantage at this operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.power.rmpi_power import (
+    HybridArchitecture,
+    RmpiArchitecture,
+    sweep_frequencies,
+)
+
+__all__ = ["Fig11Data", "run_fig11", "PAPER_FIG11_M"]
+
+#: Paper Section VI: measurement counts for SNR = 20 dB.
+PAPER_FIG11_M: Dict[str, int] = {"normal": 240, "hybrid": 96}
+
+
+@dataclass(frozen=True)
+class Fig11Data:
+    """Both architectures' sweeps plus the design points used."""
+
+    fs_hz: Tuple[float, ...]
+    normal: Dict[str, list]
+    hybrid: Dict[str, list]
+    m_normal: int
+    m_hybrid: int
+    lowres_fraction_at_360hz: float
+
+    def amplifier_dominates(self) -> bool:
+        """Amplifier > ADC + integrator at every frequency, both designs."""
+        for sweep in (self.normal, self.hybrid):
+            amp = np.asarray(sweep["amplifier_w"])
+            rest = np.asarray(sweep["adc_w"]) + np.asarray(sweep["integrator_w"])
+            if not np.all(amp > rest):
+                return False
+        return True
+
+    def gain_at(self, fs_hz: float) -> float:
+        """P_normal / P_hybrid at the sweep point nearest ``fs_hz``."""
+        fs = np.asarray(self.fs_hz)
+        idx = int(np.argmin(np.abs(fs - fs_hz)))
+        return self.normal["total_w"][idx] / self.hybrid["total_w"][idx]
+
+    def power_scales_linearly(self) -> bool:
+        """Total power is proportional to fs in this model (doubling fs
+        doubles every block), so the log-log curve has unit slope."""
+        fs = np.asarray(self.fs_hz)
+        total = np.asarray(self.normal["total_w"])
+        slopes = np.diff(np.log(total)) / np.diff(np.log(fs))
+        return bool(np.allclose(slopes, 1.0, atol=1e-6))
+
+
+def run_fig11(
+    fs_values_hz: Optional[Sequence[float]] = None,
+    *,
+    m_normal: int = PAPER_FIG11_M["normal"],
+    m_hybrid: int = PAPER_FIG11_M["hybrid"],
+    n: int = 512,
+    lowres_bits: int = 7,
+) -> Fig11Data:
+    """Evaluate both architectures over the paper's frequency range."""
+    if fs_values_hz is None:
+        # 100 Hz .. 100 MHz, log-spaced like the paper's axes.
+        fs_values_hz = np.logspace(2, 8, 25)
+    normal_arch = RmpiArchitecture(m=m_normal, n=n)
+    hybrid_arch = HybridArchitecture(
+        cs=RmpiArchitecture(m=m_hybrid, n=n), lowres_bits=lowres_bits
+    )
+    normal = sweep_frequencies(normal_arch, fs_values_hz)
+    hybrid = sweep_frequencies(hybrid_arch, fs_values_hz)
+    return Fig11Data(
+        fs_hz=tuple(float(f) for f in fs_values_hz),
+        normal=normal,
+        hybrid=hybrid,
+        m_normal=m_normal,
+        m_hybrid=m_hybrid,
+        lowres_fraction_at_360hz=hybrid_arch.lowres_fraction(360.0),
+    )

@@ -1,0 +1,79 @@
+"""Fig. 4 driver: PDF of low-resolution difference values per resolution.
+
+The paper plots the empirical probability density of consecutive-sample
+differences of the quantized stream for 10/8/6/4-bit resolutions: the
+lower the resolution, the more mass concentrates at zero — the redundancy
+the entropy coder exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.coding.differential import difference_histogram
+from repro.experiments.runner import ExperimentScale, active_scale
+from repro.sensing.quantizers import requantize_codes
+
+__all__ = ["Fig4Data", "run_fig4", "PAPER_FIG4_RESOLUTIONS"]
+
+#: Resolutions plotted in the paper's Fig. 4.
+PAPER_FIG4_RESOLUTIONS: Tuple[int, ...] = (10, 8, 6, 4)
+
+
+@dataclass(frozen=True)
+class Fig4Data:
+    """Difference PDFs keyed by resolution.
+
+    ``pdfs[bits] = (support, probabilities)`` with support clipped to the
+    paper's plotted range of ±15.
+    """
+
+    pdfs: Dict[int, Tuple[np.ndarray, np.ndarray]]
+
+    def zero_mass(self, bits: int) -> float:
+        """Probability of a zero difference at the given resolution."""
+        support, probs = self.pdfs[bits]
+        idx = np.nonzero(support == 0)[0]
+        return float(probs[idx[0]]) if idx.size else 0.0
+
+    def is_monotone_in_resolution(self) -> bool:
+        """The paper's qualitative claim: lower resolution → more mass at
+        zero (distributions sharpen as bits decrease)."""
+        ordered = sorted(self.pdfs)
+        masses = [self.zero_mass(b) for b in ordered]
+        return all(m1 >= m2 - 1e-12 for m1, m2 in zip(masses[:-1], masses[1:]))
+
+
+def run_fig4(
+    resolutions: Sequence[int] = PAPER_FIG4_RESOLUTIONS,
+    *,
+    scale: Optional[ExperimentScale] = None,
+    support_halfwidth: int = 15,
+) -> Fig4Data:
+    """Compute the difference PDFs over the experiment database.
+
+    Differences are pooled across all records in the scale; the support is
+    the paper's plotted ±``support_halfwidth`` range.
+    """
+    scale = scale or active_scale()
+    records = scale.records()
+    support = np.arange(-support_halfwidth, support_halfwidth + 1)
+    pdfs: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+    for bits in resolutions:
+        pooled: Dict[int, int] = {}
+        total = 0
+        for record in records:
+            codes = requantize_codes(
+                record.adu, record.header.resolution_bits, bits
+            )
+            # Histograms are pooled per record so no spurious difference is
+            # formed across record boundaries.
+            for value, count in difference_histogram(codes).items():
+                pooled[value] = pooled.get(value, 0) + count
+                total += count
+        probs = np.array([pooled.get(int(v), 0) / total for v in support])
+        pdfs[int(bits)] = (support.copy(), probs)
+    return Fig4Data(pdfs=pdfs)

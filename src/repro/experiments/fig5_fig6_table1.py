@@ -1,0 +1,126 @@
+"""Figs. 5-6 and Table I driver: the low-resolution channel trade-off.
+
+For every quantizer resolution 3-10 bit the paper reports:
+
+* Fig. 5 — on-node storage (bytes) of the offline Huffman codebook;
+* Fig. 6 — average compression ratio of the coded low-res stream (as a
+  fraction of its raw ``n*B`` bits; see the notation note in
+  :mod:`repro.metrics.compression`);
+* Table I — the resulting overhead ``D_i = CR_i * i / 12`` in percent of
+  the 12-bit original.
+
+The trio is computed together since they share the trained codebooks and
+the encoded streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.coding.codebook import DifferenceCodebook
+from repro.core.pipeline import default_codebook
+from repro.experiments.runner import ExperimentScale, active_scale
+from repro.metrics.compression import lowres_overhead
+from repro.sensing.quantizers import requantize_codes
+
+__all__ = [
+    "LowresTradeoffRow",
+    "LowresTradeoffData",
+    "run_lowres_tradeoff",
+    "PAPER_TABLE1_OVERHEADS",
+    "PAPER_RESOLUTIONS",
+]
+
+#: Resolutions swept in Figs. 5-6 / Table I.
+PAPER_RESOLUTIONS: Tuple[int, ...] = (3, 4, 5, 6, 7, 8, 9, 10)
+
+#: Paper Table I: resolution → overhead D_i in percent.
+PAPER_TABLE1_OVERHEADS: Dict[int, float] = {
+    10: 26.3, 9: 17.6, 8: 11.4, 7: 7.8, 6: 5.6, 5: 4.2, 4: 3.1, 3: 2.3,
+}
+
+
+@dataclass(frozen=True)
+class LowresTradeoffRow:
+    """All three measurements at one resolution."""
+
+    resolution_bits: int
+    codebook_entries: int
+    storage_bytes: int
+    compressed_fraction: float
+    overhead_percent: float
+
+    @property
+    def bits_per_sample(self) -> float:
+        """Mean coded bits per low-res sample."""
+        return self.compressed_fraction * self.resolution_bits
+
+
+@dataclass(frozen=True)
+class LowresTradeoffData:
+    """Rows for every swept resolution, ascending in bits."""
+
+    rows: Tuple[LowresTradeoffRow, ...]
+
+    def row(self, bits: int) -> LowresTradeoffRow:
+        """The row for one resolution."""
+        for r in self.rows:
+            if r.resolution_bits == bits:
+                return r
+        raise KeyError(f"resolution {bits} not in sweep")
+
+    def overhead_is_monotone(self) -> bool:
+        """Paper's Table I property: D_i increases with resolution."""
+        overheads = [r.overhead_percent for r in self.rows]
+        return all(a <= b + 1e-12 for a, b in zip(overheads[:-1], overheads[1:]))
+
+    def storage_is_monotone(self) -> bool:
+        """Paper's Fig. 5 property: storage grows with resolution."""
+        sizes = [r.storage_bytes for r in self.rows]
+        return all(a <= b for a, b in zip(sizes[:-1], sizes[1:]))
+
+
+def run_lowres_tradeoff(
+    resolutions: Sequence[int] = PAPER_RESOLUTIONS,
+    *,
+    scale: Optional[ExperimentScale] = None,
+    window_len: int = 512,
+    codebooks: Optional[Dict[int, DifferenceCodebook]] = None,
+) -> LowresTradeoffData:
+    """Measure storage, compression and overhead per resolution.
+
+    Compression fractions are averaged over every full window of every
+    record in the scale, encoding real bitstreams (not entropy estimates).
+    """
+    scale = scale or active_scale()
+    records = scale.records()
+    rows = []
+    for bits in sorted(int(b) for b in resolutions):
+        book = (
+            codebooks[bits]
+            if codebooks is not None
+            else default_codebook(bits)
+        )
+        fractions = []
+        for record in records:
+            codes = requantize_codes(
+                record.adu, record.header.resolution_bits, bits
+            )
+            n_windows = codes.size // window_len
+            for k in range(n_windows):
+                window = codes[k * window_len : (k + 1) * window_len]
+                fractions.append(book.compressed_fraction(window))
+        fraction = float(np.mean(fractions))
+        rows.append(
+            LowresTradeoffRow(
+                resolution_bits=bits,
+                codebook_entries=book.n_entries,
+                storage_bytes=book.storage_bytes(),
+                compressed_fraction=fraction,
+                overhead_percent=lowres_overhead(min(fraction, 1.0), bits),
+            )
+        )
+    return LowresTradeoffData(rows=tuple(rows))

@@ -1,0 +1,105 @@
+"""Fig. 7 driver: averaged SNR and PRD vs compression ratio, both methods.
+
+The paper's central quality result: hybrid CS beats normal CS at every
+compression ratio, with the gap exploding above ~80 % CR where normal CS
+"fails to converge or has very poor reconstruction quality"; "good" quality
+is reached at 81 % CR for hybrid vs 53 % for normal CS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.core.config import FrontEndConfig
+from repro.experiments.runner import (
+    CrSweepPoint,
+    ExperimentScale,
+    PAPER_CR_VALUES,
+    sweep_compression_ratios,
+)
+from repro.metrics.quality import GOOD_PRD_THRESHOLD
+
+__all__ = ["Fig7Series", "Fig7Data", "run_fig7"]
+
+
+@dataclass(frozen=True)
+class Fig7Series:
+    """One method's curve over the CR axis."""
+
+    method: str
+    cr_percent: Tuple[float, ...]
+    snr_db: Tuple[float, ...]
+    prd_percent: Tuple[float, ...]
+    net_cr_percent: Tuple[float, ...]
+
+    def snr_at(self, cr: float) -> float:
+        """Mean SNR at one swept CR value."""
+        return self.snr_db[self.cr_percent.index(cr)]
+
+    def highest_good_cr(
+        self, prd_threshold: float = GOOD_PRD_THRESHOLD
+    ) -> Optional[float]:
+        """Largest swept CR still delivering "good" quality (PRD below the
+        Zigel threshold); the paper quotes 81 % (hybrid) vs 53 % (normal).
+        Returns None when no swept point qualifies."""
+        good = [
+            cr
+            for cr, prd in zip(self.cr_percent, self.prd_percent)
+            if prd < prd_threshold
+        ]
+        return max(good) if good else None
+
+
+@dataclass(frozen=True)
+class Fig7Data:
+    """Both curves plus the underlying sweep points."""
+
+    hybrid: Fig7Series
+    normal: Fig7Series
+    points: Tuple[CrSweepPoint, ...]
+
+    def hybrid_dominates(self) -> bool:
+        """Paper claim: hybrid SNR ≥ normal SNR at every swept CR."""
+        return all(
+            h >= n
+            for h, n in zip(self.hybrid.snr_db, self.normal.snr_db)
+        )
+
+    def gap_widens_at_high_cr(self) -> bool:
+        """Paper claim: the SNR gap at the highest CR exceeds the gap at
+        the lowest CR."""
+        gaps = [
+            h - n for h, n in zip(self.hybrid.snr_db, self.normal.snr_db)
+        ]
+        return gaps[-1] > gaps[0]
+
+
+def _series(points: Sequence[CrSweepPoint], method: str) -> Fig7Series:
+    mine = [p for p in points if p.method == method]
+    mine.sort(key=lambda p: p.cr_percent)
+    return Fig7Series(
+        method=method,
+        cr_percent=tuple(p.cr_percent for p in mine),
+        snr_db=tuple(p.mean_snr_db for p in mine),
+        prd_percent=tuple(p.mean_prd_percent for p in mine),
+        net_cr_percent=tuple(p.net_cr_percent for p in mine),
+    )
+
+
+def run_fig7(
+    base_config: Optional[FrontEndConfig] = None,
+    cr_values: Sequence[float] = PAPER_CR_VALUES,
+    *,
+    scale: Optional[ExperimentScale] = None,
+) -> Fig7Data:
+    """Run the full Fig. 7 sweep (both methods, all CR values)."""
+    config = base_config or FrontEndConfig()
+    points = sweep_compression_ratios(
+        config, cr_values, methods=("hybrid", "normal"), scale=scale
+    )
+    return Fig7Data(
+        hybrid=_series(points, "hybrid"),
+        normal=_series(points, "normal"),
+        points=tuple(points),
+    )

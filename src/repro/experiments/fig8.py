@@ -1,0 +1,132 @@
+"""Fig. 8 driver: per-record SNR box-plot statistics vs compression ratio.
+
+The paper's Fig. 8 shows, for every CR, the distribution of SNR across the
+48 records as a box plot (median, quartiles, whiskers at the most extreme
+non-outlier points — the MATLAB ``boxplot`` convention, outliers beyond
+1.5 IQR).  This driver computes the same five-number summaries from the
+sweep so the benchmark can print them as rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import FrontEndConfig
+from repro.experiments.runner import (
+    CrSweepPoint,
+    ExperimentScale,
+    PAPER_CR_VALUES,
+    sweep_compression_ratios,
+)
+
+__all__ = ["BoxStats", "Fig8Data", "run_fig8", "box_stats"]
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """MATLAB-style box-plot summary of one SNR distribution."""
+
+    cr_percent: float
+    method: str
+    median: float
+    q25: float
+    q75: float
+    whisker_low: float
+    whisker_high: float
+    outliers: Tuple[float, ...]
+
+    @property
+    def iqr(self) -> float:
+        """Inter-quartile range."""
+        return self.q75 - self.q25
+
+
+def box_stats(
+    values: Sequence[float], cr_percent: float, method: str
+) -> BoxStats:
+    """Five-number summary with 1.5-IQR whiskers (MATLAB ``boxplot``)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one value")
+    q25, med, q75 = np.percentile(arr, [25.0, 50.0, 75.0])
+    iqr = q75 - q25
+    lo_fence = q25 - 1.5 * iqr
+    hi_fence = q75 + 1.5 * iqr
+    inside = arr[(arr >= lo_fence) & (arr <= hi_fence)]
+    outliers = tuple(float(v) for v in arr[(arr < lo_fence) | (arr > hi_fence)])
+    return BoxStats(
+        cr_percent=float(cr_percent),
+        method=method,
+        median=float(med),
+        q25=float(q25),
+        q75=float(q75),
+        whisker_low=float(inside.min()),
+        whisker_high=float(inside.max()),
+        outliers=outliers,
+    )
+
+
+@dataclass(frozen=True)
+class Fig8Data:
+    """Box summaries for both methods at every swept CR."""
+
+    normal: Tuple[BoxStats, ...]
+    hybrid: Tuple[BoxStats, ...]
+
+    def spread_ratio(self) -> float:
+        """Mean IQR of normal over mean IQR of hybrid.
+
+        Purely descriptive: note that when normal CS collapses at high CR
+        its per-record SNRs bunch tightly around ~0 dB, so a small ratio
+        does not mean normal CS is *better* — read it with the medians.
+        """
+        normal_iqr = float(np.mean([b.iqr for b in self.normal]))
+        hybrid_iqr = float(np.mean([b.iqr for b in self.hybrid]))
+        if hybrid_iqr == 0:
+            return float("inf")
+        return normal_iqr / hybrid_iqr
+
+    def hybrid_floor_beats_normal_ceiling_at(self, cr_percent: float) -> bool:
+        """Fig. 8's starkest visual: at aggressive CR the *worst* hybrid
+        record (lower whisker) still beats the *best* normal record
+        (upper whisker)."""
+        hybrid = next(b for b in self.hybrid if b.cr_percent == cr_percent)
+        normal = next(b for b in self.normal if b.cr_percent == cr_percent)
+        hybrid_floor = min(
+            [hybrid.whisker_low, *hybrid.outliers]
+        )
+        normal_ceiling = max([normal.whisker_high, *normal.outliers])
+        return hybrid_floor > normal_ceiling
+
+
+def run_fig8(
+    base_config: Optional[FrontEndConfig] = None,
+    cr_values: Sequence[float] = PAPER_CR_VALUES,
+    *,
+    scale: Optional[ExperimentScale] = None,
+    points: Optional[Sequence[CrSweepPoint]] = None,
+) -> Fig8Data:
+    """Compute the Fig. 8 box statistics.
+
+    Pass ``points`` to reuse an existing Fig. 7 sweep instead of re-running
+    the solvers.
+    """
+    if points is None:
+        config = base_config or FrontEndConfig()
+        points = sweep_compression_ratios(
+            config, cr_values, methods=("hybrid", "normal"), scale=scale
+        )
+    by_method: Dict[str, List[BoxStats]] = {"normal": [], "hybrid": []}
+    for point in points:
+        snrs = list(point.per_record_snrs.values())
+        by_method[point.method].append(
+            box_stats(snrs, point.cr_percent, point.method)
+        )
+    for method in by_method:
+        by_method[method].sort(key=lambda b: b.cr_percent)
+    return Fig8Data(
+        normal=tuple(by_method["normal"]), hybrid=tuple(by_method["hybrid"])
+    )

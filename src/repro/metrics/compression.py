@@ -1,0 +1,200 @@
+"""Compression-ratio accounting (Section III-B and IV of the paper).
+
+Two distinct compression ratios appear in the paper:
+
+* the **CS-channel** compression ratio, Eq. (3)::
+
+      CR = (b_orig - b_comp) / b_orig * 100
+
+  where ``b_orig`` / ``b_comp`` count bits before/after compression.  When
+  both sides use the same per-sample resolution this reduces to
+  ``(1 - m/n) * 100`` for ``m`` measurements of an ``n``-sample window;
+
+* the **low-resolution-channel** overhead, Eq. (2)::
+
+      D_i = CR_i * i / 12
+
+  i.e. the Huffman-coded ``i``-bit parallel stream, expressed as a fraction
+  of the 12-bit original, is *added back* onto the CS-channel CR to obtain
+  the net compression ratio of the hybrid design (e.g. 81 % - 7.86 % =
+  73.14 % net in Section V).
+
+Note a wrinkle in the paper's notation: Fig. 6 plots "Compression Ratio (%)"
+with values in ``[0, 1]`` that *decrease* as coding gets better — it is
+really the *compressed fraction* ``b_comp / b_orig`` of the low-res stream.
+Eq. (2) only produces the Table I numbers under that reading (e.g. 10-bit:
+``CR_10 ≈ 0.316`` compressed fraction gives ``D_10 = 0.316 * 10 / 12 =
+26.3 %``), so this module names it :func:`compressed_fraction` and uses it
+for ``D_i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "compression_ratio",
+    "compression_ratio_from_counts",
+    "compressed_fraction",
+    "cs_channel_cr",
+    "measurements_for_cr",
+    "lowres_overhead",
+    "net_compression_ratio",
+    "delta_from_cr",
+    "cr_from_delta",
+    "CompressionBudget",
+    "ORIGINAL_RESOLUTION_BITS",
+]
+
+#: The paper treats the original ECG samples as 12-bit for overhead
+#: accounting (Section III-B), even though MIT-BIH records are 11-bit.
+ORIGINAL_RESOLUTION_BITS = 12
+
+
+def compression_ratio_from_counts(bits_original: int, bits_compressed: int) -> float:
+    """Eq. (3): CR in percent from raw bit counts.
+
+    ``100 * (b_orig - b_comp) / b_orig``.  A negative value means the
+    "compressed" representation is larger than the original.
+    """
+    if bits_original <= 0:
+        raise ValueError("bits_original must be positive")
+    if bits_compressed < 0:
+        raise ValueError("bits_compressed cannot be negative")
+    return (bits_original - bits_compressed) / bits_original * 100.0
+
+
+# Backwards-friendly alias with the paper's name.
+compression_ratio = compression_ratio_from_counts
+
+
+def compressed_fraction(bits_original: int, bits_compressed: int) -> float:
+    """Compressed size as a fraction of the original, ``b_comp / b_orig``.
+
+    This is the quantity plotted in the paper's Fig. 6 for the
+    low-resolution channel (labelled "Compression Ratio (%)" but valued in
+    ``[0, 1]`` and decreasing with better coding), and the ``CR_i`` used by
+    Eq. (2).
+    """
+    if bits_original <= 0:
+        raise ValueError("bits_original must be positive")
+    if bits_compressed < 0:
+        raise ValueError("bits_compressed cannot be negative")
+    return bits_compressed / bits_original
+
+
+def cs_channel_cr(n_samples: int, m_measurements: int) -> float:
+    """CS-channel CR (percent) for ``m`` measurements of an ``n`` window.
+
+    Measurements and samples are taken at the same per-value resolution (the
+    paper quantizes CS measurements at the full 12-bit depth), so Eq. (3)
+    collapses to ``(1 - m/n) * 100``.
+    """
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    if not 0 <= m_measurements <= n_samples:
+        raise ValueError(
+            f"m_measurements must be in [0, {n_samples}], got {m_measurements}"
+        )
+    return (1.0 - m_measurements / n_samples) * 100.0
+
+
+def measurements_for_cr(n_samples: int, cr_percent: float) -> int:
+    """Number of CS measurements that realises a target CS-channel CR.
+
+    Rounds to the nearest integer measurement count; the achieved CR can be
+    recovered with :func:`cs_channel_cr`.
+    """
+    if not 0.0 <= cr_percent <= 100.0:
+        raise ValueError("cr_percent must be in [0, 100]")
+    m = int(round(n_samples * (1.0 - cr_percent / 100.0)))
+    return max(0, min(n_samples, m))
+
+
+def delta_from_cr(cr_percent: float) -> float:
+    """Undersampling ratio delta = m/n corresponding to a CS-channel CR."""
+    return 1.0 - cr_percent / 100.0
+
+
+def cr_from_delta(delta: float) -> float:
+    """CS-channel CR (percent) corresponding to delta = m/n."""
+    if not 0.0 <= delta <= 1.0:
+        raise ValueError("delta must be in [0, 1]")
+    return (1.0 - delta) * 100.0
+
+
+def lowres_overhead(
+    compressed_fraction_value: float,
+    resolution_bits: int,
+    original_bits: int = ORIGINAL_RESOLUTION_BITS,
+) -> float:
+    """Eq. (2): low-resolution-channel overhead ``D_i`` in percent.
+
+    Parameters
+    ----------
+    compressed_fraction_value:
+        ``CR_i`` of Eq. (2) — the Huffman-coded size of the ``i``-bit stream
+        as a fraction of its *uncoded i-bit* size (see module docstring).
+    resolution_bits:
+        The low-res channel quantizer depth ``i``.
+    original_bits:
+        Reference resolution of the original samples (12 in the paper).
+    """
+    if not 0.0 <= compressed_fraction_value <= 1.0 + 1e-9:
+        raise ValueError("compressed fraction must be in [0, 1]")
+    if resolution_bits <= 0 or original_bits <= 0:
+        raise ValueError("bit depths must be positive")
+    return compressed_fraction_value * resolution_bits / original_bits * 100.0
+
+
+def net_compression_ratio(cs_cr_percent: float, overhead_percent: float) -> float:
+    """Net CR of the hybrid design: CS-channel CR minus low-res overhead.
+
+    E.g. the paper's 81 % CS CR with 7.86 % 7-bit overhead gives 73.14 % net.
+    """
+    return cs_cr_percent - overhead_percent
+
+
+@dataclass(frozen=True)
+class CompressionBudget:
+    """Full bit accounting for one transmitted hybrid window.
+
+    Attributes
+    ----------
+    n_samples:
+        Window length in Nyquist samples.
+    original_bits:
+        Bits the uncompressed window would need (``n * 12`` in the paper).
+    cs_bits:
+        Bits spent on CS measurements.
+    lowres_bits:
+        Bits spent on the Huffman-coded low-resolution stream (payload only).
+    header_bits:
+        Framing/header bits, if any.
+    """
+
+    n_samples: int
+    original_bits: int
+    cs_bits: int
+    lowres_bits: int
+    header_bits: int = 0
+
+    @property
+    def total_bits(self) -> int:
+        """All bits actually transmitted for this window."""
+        return self.cs_bits + self.lowres_bits + self.header_bits
+
+    @property
+    def cs_cr_percent(self) -> float:
+        """CS-channel-only CR per Eq. (3)."""
+        return compression_ratio_from_counts(self.original_bits, self.cs_bits)
+
+    @property
+    def net_cr_percent(self) -> float:
+        """Net CR counting every transmitted bit against the original."""
+        return compression_ratio_from_counts(self.original_bits, self.total_bits)
+
+    @property
+    def lowres_overhead_percent(self) -> float:
+        """Low-res payload as a percentage of the original bits."""
+        return self.lowres_bits / self.original_bits * 100.0

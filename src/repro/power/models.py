@@ -1,0 +1,222 @@
+"""Analytical block-level power models (paper Section VI).
+
+The paper evaluates power *analytically*, reusing the 90 nm block models of
+Chen, Chandrakasan & Stojanovic (JSSC 2012) for the three dominant blocks
+of an RMPI channel bank:
+
+* ADC array (Eq. 4):   ``P_ADC = (m/n) * FOM * 2**B * fs``
+* Integrator + S/H (Eq. 5): ``P_Int = 2*BW_f * m * V_DD^2 * 10*pi*n*C_p / 16``
+* Amplifiers (Eq. 9):  ``P_amp = 2*BW * 3*m*n * 2**(2*B_y) *
+                          (G_A^2 * NEF^2 / V_DD) * pi*(kT)^2 / q``
+
+where ``m`` is the number of parallel channels, ``n`` the samples per
+processing window, ``fs`` the Nyquist sampling frequency, ``BW = fs/2`` the
+signal bandwidth, ``B`` / ``B_y`` converter resolutions, ``G_A`` the front-end
+voltage gain and NEF the amplifier noise-efficiency factor (Eq. 6).
+
+These are *models*, implemented exactly as printed; the reproduction target
+is the paper's Fig. 11 breakdown (amplifier dominance, linear frequency
+scaling) and the 2.5x / 11x hybrid-vs-normal ratios, which depend only on
+the measurement-count ratio — not on absolute watts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "BOLTZMANN_J_PER_K",
+    "ELECTRON_CHARGE_C",
+    "DEFAULT_TEMPERATURE_K",
+    "thermal_voltage",
+    "adc_power",
+    "integrator_power",
+    "amplifier_power",
+    "noise_efficiency_factor",
+    "PowerBreakdown",
+]
+
+BOLTZMANN_J_PER_K = 1.380649e-23
+ELECTRON_CHARGE_C = 1.602176634e-19
+DEFAULT_TEMPERATURE_K = 300.0
+
+
+def thermal_voltage(temperature_k: float = DEFAULT_TEMPERATURE_K) -> float:
+    """``V_T = kT/q`` in volts (~25.9 mV at 300 K)."""
+    if temperature_k <= 0:
+        raise ValueError("temperature must be positive")
+    return BOLTZMANN_J_PER_K * temperature_k / ELECTRON_CHARGE_C
+
+
+def _check_common(m: int, n: int, fs_hz: float) -> None:
+    if m <= 0 or n <= 0:
+        raise ValueError("m and n must be positive")
+    if fs_hz <= 0:
+        raise ValueError("sampling frequency must be positive")
+
+
+def adc_power(
+    m: int,
+    n: int,
+    fs_hz: float,
+    resolution_bits: int,
+    fom_j_per_conv: float = 100e-15,
+) -> float:
+    """Eq. 4: power of the ``m``-ADC array in watts.
+
+    Each channel converts once per ``n``-sample window, so the aggregate
+    conversion rate is ``(m/n) * fs``; FOM defaults to the paper's
+    100 fJ/conversion-step.
+    """
+    _check_common(m, n, fs_hz)
+    if resolution_bits <= 0:
+        raise ValueError("resolution must be positive")
+    if fom_j_per_conv <= 0:
+        raise ValueError("FOM must be positive")
+    return (m / n) * fom_j_per_conv * (2.0**resolution_bits) * fs_hz
+
+
+def integrator_power(
+    m: int,
+    n: int,
+    signal_bandwidth_hz: float,
+    vdd_v: float = 1.0,
+    pole_capacitance_f: float = 1e-12,
+) -> float:
+    """Eq. 5: integrator + sample/hold power in watts.
+
+    ``P_Int = 2*BW_f * m * V_DD^2 * 10*pi*n*C_p / 16`` with ``C_p`` the
+    dominant-pole capacitance of the unloaded OTA.
+    """
+    if signal_bandwidth_hz <= 0:
+        raise ValueError("bandwidth must be positive")
+    _check_common(m, n, 2.0 * signal_bandwidth_hz)
+    if vdd_v <= 0 or pole_capacitance_f <= 0:
+        raise ValueError("V_DD and C_p must be positive")
+    return (
+        2.0
+        * signal_bandwidth_hz
+        * m
+        * vdd_v**2
+        * 10.0
+        * np.pi
+        * n
+        * pole_capacitance_f
+        / 16.0
+    )
+
+
+def amplifier_power(
+    m: int,
+    n: int,
+    signal_bandwidth_hz: float,
+    measurement_bits: int,
+    gain_db: float = 40.0,
+    nef: float = 2.5,
+    vdd_v: float = 1.0,
+    temperature_k: float = DEFAULT_TEMPERATURE_K,
+) -> float:
+    """Eq. 9: total amplifier power of the channel bank in watts.
+
+    The noise floor the amplifiers must reach scales with the measurement
+    quantizer resolution (the ``2**(2*B_y)`` term) and the front-end gain,
+    which is why the amplifier array dominates the budget and why power is
+    directly proportional to the channel count ``m`` — the lever the hybrid
+    design pulls.
+    """
+    if signal_bandwidth_hz <= 0:
+        raise ValueError("bandwidth must be positive")
+    _check_common(m, n, 2.0 * signal_bandwidth_hz)
+    if measurement_bits <= 0:
+        raise ValueError("measurement resolution must be positive")
+    if not 1.0 <= nef <= 10.0:
+        raise ValueError("NEF outside the plausible 1-10 range")
+    if vdd_v <= 0:
+        raise ValueError("V_DD must be positive")
+    ga = 10.0 ** (gain_db / 20.0)
+    kt = BOLTZMANN_J_PER_K * temperature_k
+    return (
+        2.0
+        * signal_bandwidth_hz
+        * 3.0
+        * m
+        * n
+        * 2.0 ** (2 * measurement_bits)
+        * (ga**2 * nef**2 / vdd_v)
+        * np.pi
+        * kt**2
+        / ELECTRON_CHARGE_C
+    )
+
+
+def noise_efficiency_factor(
+    input_noise_vrms: float,
+    amp_current_a: float,
+    bandwidth_hz: float,
+    temperature_k: float = DEFAULT_TEMPERATURE_K,
+) -> float:
+    """Eq. 6: NEF of an amplifier from its measured noise and current.
+
+    ``NEF = v_ni,rms * sqrt(2*I_amp / (pi * V_T * 4kT * BW))``; the paper
+    quotes 2-3 for state-of-the-art instrumentation amplifiers.
+    """
+    if min(input_noise_vrms, amp_current_a, bandwidth_hz) <= 0:
+        raise ValueError("all quantities must be positive")
+    vt = thermal_voltage(temperature_k)
+    kt = BOLTZMANN_J_PER_K * temperature_k
+    return float(
+        input_noise_vrms
+        * np.sqrt(2.0 * amp_current_a / (np.pi * vt * 4.0 * kt * bandwidth_hz))
+    )
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Per-block power of one architecture configuration, in watts."""
+
+    adc_w: float
+    integrator_w: float
+    amplifier_w: float
+
+    @property
+    def total_w(self) -> float:
+        """Sum of the three blocks."""
+        return self.adc_w + self.integrator_w + self.amplifier_w
+
+    def dominant_block(self) -> str:
+        """Name of the largest contributor (``"amplifier"`` in all the
+        paper's configurations)."""
+        blocks = {
+            "adc": self.adc_w,
+            "integrator": self.integrator_w,
+            "amplifier": self.amplifier_w,
+        }
+        return max(blocks, key=blocks.get)
+
+    def as_microwatts(self) -> dict:
+        """The breakdown in microwatts, keyed like the paper's legend."""
+        return {
+            "P[adc]": self.adc_w * 1e6,
+            "P[Int]": self.integrator_w * 1e6,
+            "P[amp]": self.amplifier_w * 1e6,
+            "P[Total]": self.total_w * 1e6,
+        }
+
+    def scaled(self, factor: float) -> "PowerBreakdown":
+        """Every block multiplied by ``factor`` (e.g. duty cycling)."""
+        if factor < 0:
+            raise ValueError("factor cannot be negative")
+        return PowerBreakdown(
+            self.adc_w * factor,
+            self.integrator_w * factor,
+            self.amplifier_w * factor,
+        )
+
+    def __add__(self, other: "PowerBreakdown") -> "PowerBreakdown":
+        return PowerBreakdown(
+            self.adc_w + other.adc_w,
+            self.integrator_w + other.integrator_w,
+            self.amplifier_w + other.amplifier_w,
+        )

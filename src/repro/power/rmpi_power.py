@@ -1,0 +1,173 @@
+"""Architecture-level power models: RMPI bank and the hybrid front-end.
+
+Composes the block models of :mod:`repro.power.models` into the two
+architectures the paper compares in Fig. 11:
+
+* :class:`RmpiArchitecture` — a classic ``m``-channel RMPI CS front-end;
+* :class:`HybridArchitecture` — a (smaller) RMPI bank plus the
+  ultra-low-power low-resolution Nyquist channel.  The parallel channel is
+  one amplifier + one ADC whose noise requirement is set by the *low*
+  resolution, so its contribution is "negligible compared to CS path"
+  (paper §II) — a claim :meth:`HybridArchitecture.lowres_fraction`
+  quantifies rather than assumes.
+
+Both expose ``breakdown(fs)`` and ``sweep(fs_values)`` so the Fig. 11
+curves are one call away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.power.models import (
+    PowerBreakdown,
+    adc_power,
+    amplifier_power,
+    integrator_power,
+)
+
+__all__ = ["RmpiArchitecture", "HybridArchitecture", "sweep_frequencies"]
+
+
+@dataclass(frozen=True)
+class RmpiArchitecture:
+    """An ``m``-channel RMPI CS front-end (paper Figs. 3 and 10).
+
+    Attributes mirror the paper's Section VI parameters: ``n`` samples per
+    window, 12-bit measurement quantization, 40 dB front-end gain, NEF 2.5
+    (middle of the quoted 2-3 range), 1 V supply in 90 nm, 100 fJ/step ADC
+    FOM and 1 pF OTA pole capacitance.
+    """
+
+    m: int
+    n: int = 512
+    measurement_bits: int = 12
+    gain_db: float = 40.0
+    nef: float = 2.5
+    vdd_v: float = 1.0
+    fom_j_per_conv: float = 100e-15
+    pole_capacitance_f: float = 1e-12
+
+    def __post_init__(self) -> None:
+        if self.m <= 0 or self.n <= 0:
+            raise ValueError("m and n must be positive")
+        if self.m > self.n:
+            raise ValueError("RMPI needs m <= n")
+
+    def breakdown(self, fs_hz: float) -> PowerBreakdown:
+        """Block-level power at Nyquist sampling frequency ``fs_hz``."""
+        if fs_hz <= 0:
+            raise ValueError("fs must be positive")
+        bw = fs_hz / 2.0
+        return PowerBreakdown(
+            adc_w=adc_power(
+                self.m, self.n, fs_hz, self.measurement_bits, self.fom_j_per_conv
+            ),
+            integrator_w=integrator_power(
+                self.m, self.n, bw, self.vdd_v, self.pole_capacitance_f
+            ),
+            amplifier_w=amplifier_power(
+                self.m,
+                self.n,
+                bw,
+                self.measurement_bits,
+                self.gain_db,
+                self.nef,
+                self.vdd_v,
+            ),
+        )
+
+    def total_w(self, fs_hz: float) -> float:
+        """Total power at ``fs_hz`` in watts."""
+        return self.breakdown(fs_hz).total_w
+
+    def with_channels(self, m: int) -> "RmpiArchitecture":
+        """Same design with a different channel count."""
+        return replace(self, m=m)
+
+
+@dataclass(frozen=True)
+class HybridArchitecture:
+    """The paper's hybrid front-end: small RMPI bank + low-res channel.
+
+    Attributes
+    ----------
+    cs:
+        The CS path (an :class:`RmpiArchitecture` with the reduced ``m``).
+    lowres_bits:
+        Resolution of the parallel Nyquist-rate channel (7 in the paper).
+    lowres_gain_db:
+        Gain of the low-res channel's (single) front-end amplifier.  The
+        low-res path needs far less gain headroom; 20 dB is a conservative
+        choice — even reusing 40 dB leaves the path negligible.
+    """
+
+    cs: RmpiArchitecture
+    lowres_bits: int = 7
+    lowres_gain_db: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.lowres_bits <= 0:
+            raise ValueError("lowres_bits must be positive")
+
+    def lowres_breakdown(self, fs_hz: float) -> PowerBreakdown:
+        """Power of the parallel low-resolution channel alone.
+
+        One ADC converting at the full Nyquist rate (``m=n=1`` makes Eq. 4
+        count every sample) and one amplifier whose noise floor matches the
+        low-res quantizer; no integrator (it is a plain sampling channel).
+        """
+        if fs_hz <= 0:
+            raise ValueError("fs must be positive")
+        bw = fs_hz / 2.0
+        return PowerBreakdown(
+            adc_w=adc_power(1, 1, fs_hz, self.lowres_bits, self.cs.fom_j_per_conv),
+            integrator_w=0.0,
+            amplifier_w=amplifier_power(
+                1,
+                1,
+                bw,
+                self.lowres_bits,
+                self.lowres_gain_db,
+                self.cs.nef,
+                self.cs.vdd_v,
+            ),
+        )
+
+    def breakdown(self, fs_hz: float) -> PowerBreakdown:
+        """Combined CS-path + low-res-path block powers."""
+        return self.cs.breakdown(fs_hz) + self.lowres_breakdown(fs_hz)
+
+    def total_w(self, fs_hz: float) -> float:
+        """Total hybrid power at ``fs_hz`` in watts."""
+        return self.breakdown(fs_hz).total_w
+
+    def lowres_fraction(self, fs_hz: float) -> float:
+        """Low-res channel share of the total (paper: "negligible")."""
+        total = self.total_w(fs_hz)
+        return self.lowres_breakdown(fs_hz).total_w / total
+
+
+def sweep_frequencies(
+    architecture,
+    fs_values_hz: Sequence[float],
+) -> dict:
+    """Evaluate an architecture over a frequency sweep (Fig. 11 driver).
+
+    Returns a dict of equally-long lists: ``fs_hz``, ``adc_w``,
+    ``integrator_w``, ``amplifier_w``, ``total_w``.
+    """
+    fs_arr = np.asarray(list(fs_values_hz), dtype=float)
+    if fs_arr.size == 0 or np.any(fs_arr <= 0):
+        raise ValueError("fs sweep must be non-empty and positive")
+    rows = [architecture.breakdown(float(fs)) for fs in fs_arr]
+    return {
+        "fs_hz": fs_arr.tolist(),
+        "adc_w": [r.adc_w for r in rows],
+        "integrator_w": [r.integrator_w for r in rows],
+        "amplifier_w": [r.amplifier_w for r in rows],
+        "total_w": [r.total_w for r in rows],
+    }

@@ -1,0 +1,58 @@
+"""Sparse-recovery solvers: Eq. 1 (hybrid), BPDN, and baselines."""
+
+from repro.recovery.admm import solve_bpdn_admm
+from repro.recovery.bpdn import ball_block, solve_bpdn
+from repro.recovery.fista import lambda_max, solve_fista
+from repro.recovery.greedy import solve_cosamp, solve_iht, solve_omp
+from repro.recovery.hybrid import box_block, solve_hybrid
+from repro.recovery.pdhg import ConstraintBlock, PdhgSettings, solve_l1_constrained
+from repro.recovery.problem import CsProblem
+from repro.recovery.prox import (
+    project_box,
+    project_l2_ball,
+    prox_l1,
+    soft_threshold,
+)
+from repro.recovery.phase_transition import (
+    TransitionPoint,
+    empirical_transition,
+    success_probability,
+)
+from repro.recovery.result import RecoveryResult
+from repro.recovery.structured import (
+    solve_model_iht,
+    solve_reweighted_bpdn,
+    solve_reweighted_hybrid,
+    tree_project,
+    wavelet_tree_parents,
+)
+
+__all__ = [
+    "ConstraintBlock",
+    "CsProblem",
+    "PdhgSettings",
+    "RecoveryResult",
+    "TransitionPoint",
+    "ball_block",
+    "empirical_transition",
+    "success_probability",
+    "box_block",
+    "lambda_max",
+    "project_box",
+    "project_l2_ball",
+    "prox_l1",
+    "soft_threshold",
+    "solve_bpdn",
+    "solve_bpdn_admm",
+    "solve_cosamp",
+    "solve_fista",
+    "solve_hybrid",
+    "solve_iht",
+    "solve_l1_constrained",
+    "solve_model_iht",
+    "solve_omp",
+    "solve_reweighted_bpdn",
+    "solve_reweighted_hybrid",
+    "tree_project",
+    "wavelet_tree_parents",
+]

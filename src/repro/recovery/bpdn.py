@@ -1,0 +1,92 @@
+"""Basis-pursuit denoising: the *normal CS* recovery baseline.
+
+Solves::
+
+    min_alpha ||alpha||_1   subject to   ||A alpha - y||_2 <= sigma
+
+— the paper's Eq. 1 *without* the low-resolution box constraint, i.e. what
+the paper calls "normal CS" / "CS" in Figs. 7-8.  Implemented on the PDHG
+engine with a single L2-ball constraint block.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.recovery.pdhg import ConstraintBlock, PdhgSettings, solve_l1_constrained
+from repro.recovery.problem import CsProblem
+from repro.recovery.prox import project_l2_ball
+from repro.recovery.result import RecoveryResult
+from repro.wavelets.operators import SynthesisBasis
+
+__all__ = ["ball_block", "solve_bpdn"]
+
+
+def ball_block(problem: CsProblem, y: np.ndarray, sigma: float) -> ConstraintBlock:
+    """The measurement-fidelity block ``||A alpha - y|| <= sigma``."""
+    y = np.asarray(y, dtype=float)
+    if y.ndim != 1 or y.size != problem.m:
+        raise ValueError(f"expected {problem.m} measurements")
+    if sigma < 0:
+        raise ValueError("sigma cannot be negative")
+
+    def violation(z: np.ndarray) -> float:
+        return max(0.0, float(np.linalg.norm(z - y)) - sigma)
+
+    return ConstraintBlock(
+        forward=problem.forward,
+        adjoint=problem.adjoint,
+        project=lambda z: project_l2_ball(z, y, sigma),
+        opnorm_sq=problem.opnorm_sq(),
+        violation=violation,
+        out_dim=problem.m,
+    )
+
+
+def solve_bpdn(
+    phi: np.ndarray,
+    basis: SynthesisBasis,
+    y: np.ndarray,
+    sigma: float,
+    *,
+    settings: PdhgSettings = PdhgSettings(),
+    problem: Optional[CsProblem] = None,
+) -> RecoveryResult:
+    """Recover a window from CS measurements alone (normal CS).
+
+    Parameters
+    ----------
+    phi:
+        ``m x n`` sensing matrix (ignored if ``problem`` is given).
+    basis:
+        Sparsifying synthesis basis Ψ.
+    y:
+        Measurement vector ``Φ x + noise``.
+    sigma:
+        Fidelity radius; use (an upper bound on) the measurement-noise
+        2-norm.  ``sigma = 0`` gives equality-constrained basis pursuit.
+    settings:
+        PDHG iteration controls.
+    problem:
+        Pre-built :class:`CsProblem` to reuse the cached composed operator
+        across windows.
+
+    Returns
+    -------
+    RecoveryResult
+        With ``x`` in signal units and ``residual_norm = ||A alpha - y||``.
+    """
+    prob = problem if problem is not None else CsProblem(phi, basis)
+    y = np.asarray(y, dtype=float)
+    result = solve_l1_constrained(
+        prob.n,
+        [ball_block(prob, y, sigma)],
+        settings=settings,
+        synthesize=prob.basis.synthesize,
+        solver_name="pdhg-bpdn",
+    )
+    true_residual = float(np.linalg.norm(prob.forward(result.alpha) - y))
+    return dataclasses.replace(result, residual_norm=true_residual)

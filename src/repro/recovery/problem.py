@@ -1,0 +1,95 @@
+"""Shared problem setup for CS recovery: the composed operator A = Φ Ψ.
+
+Every solver works on ``y = A alpha + noise`` with ``A = Φ Ψ`` (sensing
+matrix times synthesis basis).  For the window sizes used here (n ≈ 512)
+the dense composition is small, and caching it per (Φ, basis) pair makes
+repeated window solves BLAS-bound instead of transform-bound.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sensing.matrices import operator_norm
+from repro.wavelets.operators import SynthesisBasis
+
+__all__ = ["CsProblem"]
+
+
+class CsProblem:
+    """The composed measurement operator for one (Φ, Ψ) configuration.
+
+    Parameters
+    ----------
+    phi:
+        Dense ``m x n`` sensing matrix.
+    basis:
+        Orthonormal synthesis basis Ψ on ``R^n``.
+
+    Notes
+    -----
+    Since Ψ is orthonormal, ``||A|| = ||Φ||`` and ``A^T = Ψ^T Φ^T``; the
+    dense ``A`` is materialized once and reused across windows.
+    """
+
+    def __init__(self, phi: np.ndarray, basis: SynthesisBasis) -> None:
+        phi = np.asarray(phi, dtype=float)
+        if phi.ndim != 2:
+            raise ValueError("phi must be a 2-D matrix")
+        if phi.shape[1] != basis.n:
+            raise ValueError(
+                f"phi has {phi.shape[1]} columns but the basis length is {basis.n}"
+            )
+        self.phi = phi
+        self.basis = basis
+        self._a: Optional[np.ndarray] = None
+        self._psi: Optional[np.ndarray] = None
+        self._opnorm_sq: Optional[float] = None
+
+    @property
+    def m(self) -> int:
+        """Number of measurements."""
+        return self.phi.shape[0]
+
+    @property
+    def n(self) -> int:
+        """Signal / coefficient dimension."""
+        return self.phi.shape[1]
+
+    @property
+    def psi(self) -> np.ndarray:
+        """The dense synthesis matrix Ψ (built lazily, cached)."""
+        if self._psi is None:
+            self._psi = self.basis.as_matrix()
+        return self._psi
+
+    @property
+    def a(self) -> np.ndarray:
+        """The dense composed operator ``A = Φ Ψ`` (built lazily)."""
+        if self._a is None:
+            self._a = self.phi @ self.psi
+        return self._a
+
+    def opnorm_sq(self) -> float:
+        """Upper bound on ``||A||^2`` (= ``||Φ||^2`` by orthonormality)."""
+        if self._opnorm_sq is None:
+            self._opnorm_sq = operator_norm(self.phi) ** 2 * 1.01
+        return self._opnorm_sq
+
+    def forward(self, alpha: np.ndarray) -> np.ndarray:
+        """``A alpha``."""
+        return self.a @ alpha
+
+    def adjoint(self, z: np.ndarray) -> np.ndarray:
+        """``A^T z``."""
+        return self.a.T @ z
+
+    def measure_signal(self, x: np.ndarray) -> np.ndarray:
+        """Direct measurement of a signal window: ``Φ x``."""
+        return self.phi @ np.asarray(x, dtype=float)
+
+    def least_squares_init(self, y: np.ndarray) -> np.ndarray:
+        """Cheap warm start: ``A^T y`` (matched filter in coefficient space)."""
+        return self.adjoint(np.asarray(y, dtype=float))

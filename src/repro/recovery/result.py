@@ -1,0 +1,61 @@
+"""Result container shared by all recovery algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["RecoveryResult"]
+
+
+@dataclass(frozen=True)
+class RecoveryResult:
+    """Outcome of a sparse-recovery solve.
+
+    Attributes
+    ----------
+    alpha:
+        Recovered coefficient vector (in the sparsifying basis).
+    x:
+        Recovered signal ``Ψ alpha`` in the same units the solver ran in.
+    iterations:
+        Iterations actually executed.
+    converged:
+        Whether the stopping criterion fired before the iteration cap.
+    residual_norm:
+        Final measurement-space residual ``||A alpha - y||_2``.
+    objective:
+        Final ``||alpha||_1``.
+    solver:
+        Short solver identifier (``"pdhg-bpdn"``, ``"omp"``, ...).
+    info:
+        Solver-specific diagnostics (step sizes, constraint violations...).
+    """
+
+    alpha: np.ndarray
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norm: float
+    objective: float
+    solver: str
+    info: Dict[str, float] = field(default_factory=dict)
+
+    def sparsity(self, threshold: float = 1e-6) -> int:
+        """Number of coefficients with magnitude above ``threshold`` times
+        the largest coefficient magnitude."""
+        mags = np.abs(self.alpha)
+        peak = float(mags.max()) if mags.size else 0.0
+        if peak == 0.0:
+            return 0
+        return int(np.count_nonzero(mags > threshold * peak))
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        status = "converged" if self.converged else "max-iter"
+        return (
+            f"{self.solver}: {status} after {self.iterations} iters, "
+            f"residual {self.residual_norm:.3e}, |alpha|_1 {self.objective:.3e}"
+        )

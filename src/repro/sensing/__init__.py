@@ -1,0 +1,38 @@
+"""Sensing layer: measurement ensembles, ADC quantizers and the RMPI model."""
+
+from repro.sensing.matrices import (
+    SensingSpec,
+    bernoulli_matrix,
+    gaussian_matrix,
+    make_matrix,
+    mutual_coherence,
+    operator_norm,
+    sparse_binary_matrix,
+    subsampled_hadamard_matrix,
+)
+from repro.sensing.quantizers import (
+    UniformQuantizer,
+    dequantize_codes,
+    lowres_bounds,
+    measurement_quantizer,
+    requantize_codes,
+)
+from repro.sensing.rmpi import RmpiBank, RmpiNonidealities
+
+__all__ = [
+    "RmpiBank",
+    "RmpiNonidealities",
+    "SensingSpec",
+    "UniformQuantizer",
+    "bernoulli_matrix",
+    "dequantize_codes",
+    "gaussian_matrix",
+    "lowres_bounds",
+    "make_matrix",
+    "measurement_quantizer",
+    "mutual_coherence",
+    "operator_norm",
+    "requantize_codes",
+    "sparse_binary_matrix",
+    "subsampled_hadamard_matrix",
+]

@@ -1,0 +1,205 @@
+"""Measurement-matrix ensembles Φ for compressed sensing.
+
+The RMPI architecture (paper Fig. 3) demodulates the input with ±1 chipping
+sequences and integrates over the window: its exact discrete equivalent is a
+Bernoulli ±1 matrix (one row per channel).  The module also provides the
+dense Gaussian ensemble and the *sparse binary* ensemble of the authors'
+TBME-2011 digital-CS work, plus small utilities shared by the solvers
+(coherence, operator-norm estimation, seeded reproducibility).
+
+All constructors normalize rows by ``1/sqrt(m)`` (Bernoulli/sparse-binary)
+or draw entries as ``N(0, 1/m)`` so that ``Φ`` is approximately an isometry
+on sparse vectors — the normalization the recovery-noise parameter σ
+assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "bernoulli_matrix",
+    "gaussian_matrix",
+    "sparse_binary_matrix",
+    "subsampled_hadamard_matrix",
+    "make_matrix",
+    "mutual_coherence",
+    "operator_norm",
+    "SensingSpec",
+]
+
+
+def _check_shape(m: int, n: int) -> None:
+    if m <= 0 or n <= 0:
+        raise ValueError(f"matrix dimensions must be positive, got {m}x{n}")
+    if m > n:
+        raise ValueError(
+            f"compressed sensing needs m <= n, got m={m} > n={n}"
+        )
+
+
+def bernoulli_matrix(
+    m: int, n: int, *, seed: Optional[int] = None, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Random ±1 Bernoulli ensemble, scaled by ``1/sqrt(m)``.
+
+    The discrete-time equivalent of an ``m``-channel RMPI bank with ±1
+    chipping sequences and unit-gain integrate-and-dump (Section III-A).
+    """
+    _check_shape(m, n)
+    rng = rng or np.random.default_rng(seed)
+    signs = rng.integers(0, 2, size=(m, n)) * 2 - 1
+    return signs.astype(float) / np.sqrt(m)
+
+
+def gaussian_matrix(
+    m: int, n: int, *, seed: Optional[int] = None, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """i.i.d. ``N(0, 1/m)`` Gaussian ensemble."""
+    _check_shape(m, n)
+    rng = rng or np.random.default_rng(seed)
+    return rng.standard_normal((m, n)) / np.sqrt(m)
+
+
+def sparse_binary_matrix(
+    m: int,
+    n: int,
+    nonzeros_per_column: int = 12,
+    *,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Sparse binary ensemble: ``d`` ones per column, rest zero.
+
+    The hardware-friendly ensemble of Mamaghanian et al. (TBME 2011): each
+    column has exactly ``nonzeros_per_column`` ones at uniformly random row
+    positions, so measurement computation needs only additions.  Scaled by
+    ``1/sqrt(nonzeros_per_column)`` to be column-normalized.
+    """
+    _check_shape(m, n)
+    if not 1 <= nonzeros_per_column <= m:
+        raise ValueError(
+            f"nonzeros_per_column must be in [1, m={m}], got {nonzeros_per_column}"
+        )
+    rng = rng or np.random.default_rng(seed)
+    phi = np.zeros((m, n))
+    for col in range(n):
+        rows = rng.choice(m, size=nonzeros_per_column, replace=False)
+        phi[rows, col] = 1.0
+    return phi / np.sqrt(nonzeros_per_column)
+
+
+def subsampled_hadamard_matrix(
+    m: int,
+    n: int,
+    *,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Randomly sub-sampled Walsh-Hadamard ensemble with sign randomization.
+
+    ``m`` distinct rows of the order-``n`` Hadamard matrix (``n`` must be a
+    power of two), right-multiplied by a random ±1 diagonal to kill
+    coherence with structured bases, scaled by ``1/sqrt(m)``.  Like the
+    Bernoulli ensemble its entries are ±1 — implementable with adders only
+    — but the rows are *deterministic* codes, so a hardware realization
+    only stores the row indices and the sign diagonal instead of full
+    chipping sequences.
+    """
+    _check_shape(m, n)
+    if n & (n - 1):
+        raise ValueError("Hadamard ensemble needs n to be a power of two")
+    rng = rng or np.random.default_rng(seed)
+    from scipy.linalg import hadamard
+
+    full = hadamard(n).astype(float)
+    rows = rng.choice(n, size=m, replace=False)
+    signs = rng.integers(0, 2, size=n) * 2 - 1
+    return full[rows] * signs[None, :] / np.sqrt(m)
+
+
+def make_matrix(
+    kind: str,
+    m: int,
+    n: int,
+    *,
+    seed: Optional[int] = None,
+    nonzeros_per_column: int = 12,
+) -> np.ndarray:
+    """Build a named ensemble: ``"bernoulli"``, ``"gaussian"``,
+    ``"sparse_binary"`` or ``"hadamard"``."""
+    key = kind.strip().lower()
+    if key == "bernoulli":
+        return bernoulli_matrix(m, n, seed=seed)
+    if key == "gaussian":
+        return gaussian_matrix(m, n, seed=seed)
+    if key in ("sparse_binary", "sparse-binary", "sparse"):
+        return sparse_binary_matrix(
+            m, n, nonzeros_per_column, seed=seed
+        )
+    if key == "hadamard":
+        return subsampled_hadamard_matrix(m, n, seed=seed)
+    raise ValueError(f"unknown sensing-matrix kind {kind!r}")
+
+
+def mutual_coherence(a: np.ndarray) -> float:
+    """Largest absolute normalized inner product between distinct columns.
+
+    A standard (pessimistic) proxy for CS recoverability; exposed mainly
+    for the ensemble-comparison ablation.
+    """
+    mat = np.asarray(a, dtype=float)
+    if mat.ndim != 2:
+        raise ValueError("expected a 2-D matrix")
+    norms = np.linalg.norm(mat, axis=0)
+    norms[norms == 0] = 1.0
+    gram = (mat / norms).T @ (mat / norms)
+    np.fill_diagonal(gram, 0.0)
+    return float(np.max(np.abs(gram)))
+
+
+def operator_norm(
+    a: np.ndarray, *, n_iter: int = 50, seed: int = 0
+) -> float:
+    """Spectral norm via power iteration (no dense SVD needed)."""
+    mat = np.asarray(a, dtype=float)
+    rng = np.random.default_rng(seed)
+    v = rng.standard_normal(mat.shape[1])
+    v /= np.linalg.norm(v)
+    sigma = 0.0
+    for _ in range(n_iter):
+        w = mat @ v
+        v = mat.T @ w
+        nv = np.linalg.norm(v)
+        if nv == 0:
+            return 0.0
+        v /= nv
+        sigma = np.sqrt(nv)
+    return float(sigma)
+
+
+@dataclass(frozen=True)
+class SensingSpec:
+    """Declarative description of a sensing configuration.
+
+    Used by the front-end config so that node and receiver can construct
+    the *same* Φ from the shared seed (the codebook of chipping sequences
+    is agreed offline, as on real hardware).
+    """
+
+    kind: str = "bernoulli"
+    seed: int = 2015
+    nonzeros_per_column: int = 12
+
+    def build(self, m: int, n: int) -> np.ndarray:
+        """Materialize the m x n measurement matrix."""
+        return make_matrix(
+            self.kind,
+            m,
+            n,
+            seed=self.seed,
+            nonzeros_per_column=self.nonzeros_per_column,
+        )

@@ -1,0 +1,164 @@
+"""ADC quantizer models.
+
+Two converters appear in the front-end:
+
+* the **low-resolution parallel channel** — a B-bit uniform quantizer
+  running at Nyquist rate; its output ``x_dot`` is both transmitted
+  (Huffman-coded) and used as the reconstruction box constraint
+  ``x_dot <= Ψα <= x_dot + d`` where ``d`` is the LSB step (Eq. 1);
+* the **CS-channel measurement quantizer** digitizing the integrator
+  outputs at full resolution.
+
+Quantizers here operate on *integer ADC codes* of the acquisition front-end
+(the MIT-BIH-style 11/12-bit samples): re-quantizing a high-resolution code
+to B bits is a deterministic floor division, which makes the box constraint
+exact — the true sample provably lies in ``[x_dot, x_dot + d)``.  A float
+mid-rise quantizer is included for the analog RMPI simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "UniformQuantizer",
+    "requantize_codes",
+    "dequantize_codes",
+    "lowres_bounds",
+    "measurement_quantizer",
+]
+
+
+def requantize_codes(
+    codes: np.ndarray, from_bits: int, to_bits: int
+) -> np.ndarray:
+    """Drop resolution of integer ADC codes from ``from_bits`` to ``to_bits``.
+
+    Keeps the ``to_bits`` most-significant bits (floor division by
+    ``2**(from_bits - to_bits)``), exactly what a lower-resolution converter
+    sampling the same analog value would produce (up to its own noise).
+    """
+    if to_bits > from_bits:
+        raise ValueError(
+            f"cannot requantize {from_bits}-bit codes up to {to_bits} bits"
+        )
+    if to_bits <= 0:
+        raise ValueError("to_bits must be positive")
+    arr = np.asarray(codes)
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise TypeError("requantize_codes expects integer ADC codes")
+    if arr.size and (arr.min() < 0 or arr.max() >= (1 << from_bits)):
+        raise ValueError(f"codes out of range for {from_bits}-bit input")
+    shift = from_bits - to_bits
+    return arr >> shift
+
+
+def dequantize_codes(
+    lowres_codes: np.ndarray, from_bits: int, to_bits: int
+) -> np.ndarray:
+    """Map low-resolution codes back to the high-resolution code grid.
+
+    Returns the *lower edge* of each quantization cell (the ``x_dot`` of
+    Eq. 1); the cell width is ``2**(from_bits - to_bits)`` high-res codes.
+    """
+    if to_bits > from_bits or to_bits <= 0:
+        raise ValueError("invalid bit depths")
+    arr = np.asarray(lowres_codes)
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise TypeError("dequantize_codes expects integer codes")
+    shift = from_bits - to_bits
+    return arr << shift
+
+
+def lowres_bounds(
+    lowres_codes: np.ndarray, from_bits: int, to_bits: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-sample bounds ``(lower, upper)`` on the original high-res codes.
+
+    The original integer code ``c`` satisfies ``lower <= c <= upper`` with
+    ``upper = lower + d - 1`` where ``d = 2**(from_bits - to_bits)`` — the
+    "resolution depth step" of Eq. 1.  Bounds are returned as floats on the
+    high-res code grid, ready to feed the solver after the same affine
+    code-to-physical mapping as the signal.
+    """
+    lower = dequantize_codes(lowres_codes, from_bits, to_bits).astype(float)
+    step = float(1 << (from_bits - to_bits))
+    upper = lower + step - 1.0
+    return lower, upper
+
+
+@dataclass(frozen=True)
+class UniformQuantizer:
+    """Uniform mid-rise quantizer on a symmetric analog range.
+
+    Used by the behavioural RMPI model to digitize integrator outputs.
+
+    Attributes
+    ----------
+    bits:
+        Resolution.
+    full_scale:
+        The quantizer accepts inputs in ``[-full_scale, +full_scale)``;
+        values outside are clipped (converter saturation).
+    """
+
+    bits: int
+    full_scale: float
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0:
+            raise ValueError("bits must be positive")
+        if self.full_scale <= 0:
+            raise ValueError("full_scale must be positive")
+
+    @property
+    def levels(self) -> int:
+        """Number of output codes."""
+        return 1 << self.bits
+
+    @property
+    def step(self) -> float:
+        """LSB size in input units."""
+        return 2.0 * self.full_scale / self.levels
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Analog values to integer codes in ``[0, 2**bits - 1]``."""
+        arr = np.asarray(x, dtype=float)
+        codes = np.floor((arr + self.full_scale) / self.step)
+        return np.clip(codes, 0, self.levels - 1).astype(np.int64)
+
+    def reconstruct(self, codes: np.ndarray) -> np.ndarray:
+        """Integer codes back to cell-midpoint analog values."""
+        arr = np.asarray(codes)
+        if arr.size and (arr.min() < 0 or arr.max() >= self.levels):
+            raise ValueError("codes out of range")
+        return (arr.astype(float) + 0.5) * self.step - self.full_scale
+
+    def quantize_reconstruct(self, x: np.ndarray) -> np.ndarray:
+        """Round-trip: the quantized-and-decoded version of ``x``."""
+        return self.reconstruct(self.quantize(x))
+
+
+def measurement_quantizer(
+    phi: np.ndarray, signal_peak: float, bits: int, headroom: float = 1.1
+) -> UniformQuantizer:
+    """Size a measurement quantizer for ``y = Φ x``.
+
+    Chooses the full scale from a worst-case-ish bound on measurement
+    amplitude: ``max_row ||Φ_row||_1 * signal_peak`` would never clip but
+    wastes dynamic range, so we use the 2-norm row bound times a headroom
+    factor, which in practice never clips for ECG (measurements of
+    zero-mean windows concentrate far below the 1-norm bound).
+    """
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    if signal_peak <= 0:
+        raise ValueError("signal_peak must be positive")
+    row_norms = np.linalg.norm(np.asarray(phi, dtype=float), axis=1)
+    scale = float(np.max(row_norms)) * signal_peak * headroom
+    if scale <= 0:
+        raise ValueError("degenerate sensing matrix")
+    return UniformQuantizer(bits=bits, full_scale=scale)

@@ -1,0 +1,212 @@
+"""Behavioural simulator of the Random Modulator Pre-Integrator (RMPI).
+
+The paper's CS channel (Fig. 3) is an RMPI: the analog input feeds ``m``
+parallel random-demodulator channels; channel ``i`` multiplies the signal
+by a ±1 pseudo-random chipping waveform ``p_i(t)`` (chips at the Nyquist
+rate), integrates over the fixed processing window and samples the result.
+With ideal blocks, the discrete equivalent over an ``n``-sample window is
+exactly ``y = Φ x`` with Φ the ±1 Bernoulli matrix of chip signs (up to the
+``1/sqrt(m)`` normalization) — which is why the digital experiments use
+:func:`repro.sensing.matrices.bernoulli_matrix`.
+
+This module exists so the *full analog path* can be exercised end-to-end:
+it models the chipping mixer, a leaky integrator (finite OTA DC gain),
+amplifier input-referred noise, and the sample-and-hold + ADC quantization,
+and it can report its own *ideal discrete equivalent* so tests can bound
+the modelling error each non-ideality introduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.sensing.quantizers import UniformQuantizer, measurement_quantizer
+
+__all__ = ["RmpiNonidealities", "RmpiBank"]
+
+
+@dataclass(frozen=True)
+class RmpiNonidealities:
+    """Circuit non-idealities of the behavioural RMPI model.
+
+    Attributes
+    ----------
+    integrator_leak_per_chip:
+        Fraction of the integrator state that leaks away each chip period
+        (``0`` = ideal integrator; a finite-DC-gain OTA gives a small
+        positive value, e.g. ``1e-4``).
+    input_noise_rms:
+        RMS of additive amplifier input-referred noise, in signal units,
+        added per chip before integration.
+    gain_mismatch_sigma:
+        Per-channel multiplicative gain error std (e.g. ``0.01`` = 1 %
+        channel-to-channel mismatch).
+    seed:
+        Seed for the noise/mismatch draws (chipping sequences have their
+        own seed in :class:`RmpiBank`).
+    """
+
+    integrator_leak_per_chip: float = 0.0
+    input_noise_rms: float = 0.0
+    gain_mismatch_sigma: float = 0.0
+    seed: int = 99
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.integrator_leak_per_chip < 1.0:
+            raise ValueError("leak must be in [0, 1)")
+        if self.input_noise_rms < 0 or self.gain_mismatch_sigma < 0:
+            raise ValueError("noise levels cannot be negative")
+
+    @property
+    def is_ideal(self) -> bool:
+        """True when every non-ideality is disabled."""
+        return (
+            self.integrator_leak_per_chip == 0.0
+            and self.input_noise_rms == 0.0
+            and self.gain_mismatch_sigma == 0.0
+        )
+
+
+class RmpiBank:
+    """A bank of ``m`` random-demodulator channels over ``n``-chip windows.
+
+    Parameters
+    ----------
+    m:
+        Number of parallel channels (= measurements per window).
+    n:
+        Chips (Nyquist samples) per processing window.
+    seed:
+        Seed for the chipping sequences; node and receiver must share it.
+    nonidealities:
+        Circuit imperfections; default ideal.
+    adc_bits:
+        If set, measurements are digitized by a mid-rise ADC sized via
+        :func:`repro.sensing.quantizers.measurement_quantizer` on first
+        use; if ``None`` the bank returns unquantized measurements.
+    signal_peak:
+        Expected peak |signal| used to size the measurement ADC.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        n: int,
+        *,
+        seed: int = 2015,
+        nonidealities: RmpiNonidealities = RmpiNonidealities(),
+        adc_bits: Optional[int] = None,
+        signal_peak: float = 1.0,
+    ) -> None:
+        if m <= 0 or n <= 0:
+            raise ValueError("m and n must be positive")
+        if m > n:
+            raise ValueError("RMPI needs m <= n")
+        self.m = m
+        self.n = n
+        self.seed = seed
+        self.nonidealities = nonidealities
+        rng = np.random.default_rng(seed)
+        # ±1 chipping signs, one row per channel, one column per chip.
+        self._chips = (rng.integers(0, 2, size=(m, n)) * 2 - 1).astype(float)
+        mis_rng = np.random.default_rng(nonidealities.seed)
+        self._gains = 1.0 + nonidealities.gain_mismatch_sigma * mis_rng.standard_normal(m)
+        self._noise_rng = np.random.default_rng(nonidealities.seed + 1)
+        self._quantizer: Optional[UniformQuantizer] = None
+        self._adc_bits = adc_bits
+        self._signal_peak = signal_peak
+
+    @property
+    def chips(self) -> np.ndarray:
+        """The ±1 chipping sign matrix (read-only view)."""
+        view = self._chips.view()
+        view.flags.writeable = False
+        return view
+
+    def equivalent_matrix(self) -> np.ndarray:
+        """The ideal discrete equivalent Φ (chip signs over ``sqrt(m)``).
+
+        Matches :func:`repro.sensing.matrices.bernoulli_matrix` called with
+        the same seed, so receiver-side recovery can be configured from the
+        seed alone.
+        """
+        return self._chips / np.sqrt(self.m)
+
+    def _ensure_quantizer(self) -> Optional[UniformQuantizer]:
+        if self._adc_bits is None:
+            return None
+        if self._quantizer is None:
+            self._quantizer = measurement_quantizer(
+                self.equivalent_matrix(), self._signal_peak, self._adc_bits
+            )
+        return self._quantizer
+
+    def measure(self, x: np.ndarray) -> np.ndarray:
+        """Acquire one window: mix, integrate, sample, (optionally) digitize.
+
+        Parameters
+        ----------
+        x:
+            The ``n`` Nyquist-rate samples of the analog input over the
+            window (the piecewise-constant chip-level discretization).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``m`` measurements.  With ideal settings and no ADC these equal
+            ``equivalent_matrix() @ x`` exactly.
+        """
+        arr = np.asarray(x, dtype=float)
+        if arr.ndim != 1 or arr.size != self.n:
+            raise ValueError(f"expected a window of {self.n} samples")
+        nid = self.nonidealities
+        mixed = self._chips * arr[None, :]
+        if nid.input_noise_rms > 0:
+            mixed = mixed + nid.input_noise_rms * self._noise_rng.standard_normal(
+                mixed.shape
+            )
+        if nid.integrator_leak_per_chip > 0:
+            # Leaky accumulation: state <- state * (1 - leak) + sample.
+            decay = 1.0 - nid.integrator_leak_per_chip
+            weights = decay ** np.arange(self.n - 1, -1, -1)
+            integ = mixed @ weights
+        else:
+            integ = mixed.sum(axis=1)
+        y = self._gains * integ / np.sqrt(self.m)
+        quant = self._ensure_quantizer()
+        if quant is not None:
+            y = quant.quantize_reconstruct(y)
+        return y
+
+    def measurement_noise_bound(self, x_peak: float) -> float:
+        """A crude 2-norm bound on ``||y_real - Φx||`` for solver σ sizing.
+
+        Combines quantization (LSB/sqrt(12) per measurement), integrator
+        leakage (first-order) and amplifier noise contributions.  Tests
+        verify the bound holds on random inputs with margin.
+        """
+        nid = self.nonidealities
+        var = 0.0
+        quant = self._ensure_quantizer()
+        if quant is not None:
+            var += quant.step**2 / 12.0
+        if nid.input_noise_rms > 0:
+            var += self.n * nid.input_noise_rms**2 / self.m
+        leak_term = 0.0
+        if nid.integrator_leak_per_chip > 0:
+            # Worst-case deterministic leakage error per channel.
+            leak_term = (
+                nid.integrator_leak_per_chip
+                * self.n
+                * x_peak
+                / np.sqrt(self.m)
+            )
+        if nid.gain_mismatch_sigma > 0:
+            leak_term += (
+                3.0 * nid.gain_mismatch_sigma * self.n * x_peak / np.sqrt(self.m)
+            )
+        per_channel = np.sqrt(var) + leak_term
+        return float(np.sqrt(self.m) * per_channel)

@@ -1,0 +1,151 @@
+"""QRS detection (Pan-Tompkins style) for diagnostic-quality evaluation.
+
+The paper frames PRD/SNR as proxies for *diagnostic* quality ("to quantify
+the compression performance while assessing the diagnostic quality of the
+compressed ECG records", §IV).  The direct measurement is whether a
+clinical algorithm still works on the reconstruction — and the canonical
+clinical algorithm is QRS detection.  This module implements a compact
+Pan-Tompkins-style detector:
+
+1. band-pass 5-15 Hz (the QRS energy band),
+2. differentiate, square,
+3. moving-window integration (~150 ms),
+4. adaptive dual-threshold peak picking with a 200 ms refractory period.
+
+:mod:`repro.metrics.diagnostic` uses it to score reconstructions by beat
+sensitivity/PPV against the synthesizer's ground-truth annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+from scipy import signal as sps
+
+__all__ = ["QrsDetector", "detect_r_peaks"]
+
+
+@dataclass(frozen=True)
+class QrsDetector:
+    """Configurable Pan-Tompkins-style R-peak detector.
+
+    Attributes
+    ----------
+    band_hz:
+        Pass band of the QRS-enhancement filter.
+    integration_window_s:
+        Width of the moving-average integrator.
+    refractory_s:
+        Minimum spacing between detections (physiological floor).
+    threshold_fraction:
+        Adaptive threshold as a fraction of the running signal-peak
+        estimate.
+    prominence_ratio:
+        Minimum ratio of the typical candidate-peak height to the
+        inter-beat feature floor for the signal to count as containing
+        QRS complexes at all (white noise sits near 1.7; clean ECG far
+        above 10).
+    """
+
+    band_hz: tuple = (5.0, 15.0)
+    integration_window_s: float = 0.15
+    refractory_s: float = 0.2
+    threshold_fraction: float = 0.35
+    prominence_ratio: float = 2.5
+
+    def __post_init__(self) -> None:
+        lo, hi = self.band_hz
+        if not 0 < lo < hi:
+            raise ValueError("band must satisfy 0 < low < high")
+        if self.integration_window_s <= 0 or self.refractory_s <= 0:
+            raise ValueError("window and refractory period must be positive")
+        if not 0 < self.threshold_fraction < 1:
+            raise ValueError("threshold_fraction must be in (0, 1)")
+        if self.prominence_ratio <= 1.0:
+            raise ValueError("prominence_ratio must exceed 1")
+
+    # ------------------------------------------------------------------
+    def _feature_signal(self, x: np.ndarray, fs_hz: float) -> np.ndarray:
+        nyq = fs_hz / 2.0
+        lo = min(max(self.band_hz[0] / nyq, 1e-5), 0.95)
+        hi = min(max(self.band_hz[1] / nyq, lo + 1e-4), 0.99)
+        sos = sps.butter(2, [lo, hi], btype="band", output="sos")
+        filtered = sps.sosfiltfilt(sos, x)
+        derivative = np.gradient(filtered)
+        squared = derivative**2
+        win = max(1, int(round(self.integration_window_s * fs_hz)))
+        kernel = np.ones(win) / win
+        return np.convolve(squared, kernel, mode="same")
+
+    def detect(self, x: np.ndarray, fs_hz: float) -> List[int]:
+        """R-peak sample indices in ``x`` (any units, any baseline).
+
+        Parameters
+        ----------
+        x:
+            The ECG waveform (1-D).
+        fs_hz:
+            Sampling rate.
+
+        Returns
+        -------
+        list of int
+            Ascending peak positions.  Empty for signals with no
+            detectable QRS energy.
+        """
+        arr = np.asarray(x, dtype=float)
+        if arr.ndim != 1:
+            raise ValueError("detector expects a 1-D signal")
+        if fs_hz <= 0:
+            raise ValueError("fs must be positive")
+        if arr.size < int(fs_hz):  # need at least ~1 s of context
+            return []
+        feature = self._feature_signal(arr - float(np.mean(arr)), fs_hz)
+
+        refractory = int(round(self.refractory_s * fs_hz))
+        # Adaptive threshold from the *median* candidate-peak height: the
+        # typical beat sets the scale, so occasional large ectopic beats
+        # (wide PVCs integrate to much bigger feature values) cannot push
+        # normal beats below threshold.
+        raw_peaks, _ = sps.find_peaks(feature, distance=refractory)
+        if raw_peaks.size == 0:
+            return []
+        heights = feature[raw_peaks]
+        # The integrator output is near zero between beats (QRS duty cycle
+        # ~15 %), so the feature's *median* is the inter-beat noise floor;
+        # candidate heights well above it are beats.  Using the median
+        # keeps the floor robust to a few high-energy ectopic beats.
+        floor = float(np.median(feature))
+        beat_heights = heights[heights >= max(floor, 1e-300)]
+        if beat_heights.size == 0:
+            return []
+        scale = float(np.median(beat_heights))
+        if scale <= 0 or scale < self.prominence_ratio * floor:
+            # QRS complexes stand far above the inter-beat floor; anything
+            # flatter (white noise, flatline) has no beat-like prominence.
+            return []
+        threshold = self.threshold_fraction * scale
+        candidates = raw_peaks[heights >= threshold]
+        peaks: List[int] = []
+        half = int(round(0.08 * fs_hz))  # refine inside +-80 ms
+        for c in candidates:
+            lo_i = max(0, c - half)
+            hi_i = min(arr.size, c + half + 1)
+            window = arr[lo_i:hi_i]
+            # R wave may be positive or negative; take the dominant
+            # excursion from the local median.
+            local = window - float(np.median(window))
+            peaks.append(lo_i + int(np.argmax(np.abs(local))))
+        # Deduplicate refined peaks that collapsed together.
+        deduped: List[int] = []
+        for p in sorted(peaks):
+            if not deduped or p - deduped[-1] >= refractory // 2:
+                deduped.append(p)
+        return deduped
+
+
+def detect_r_peaks(x: np.ndarray, fs_hz: float) -> List[int]:
+    """R-peak indices with the default detector configuration."""
+    return QrsDetector().detect(x, fs_hz)

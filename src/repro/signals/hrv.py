@@ -1,0 +1,112 @@
+"""Heart-rate-variability metrics from beat annotations.
+
+The RR tachogram generator (:func:`repro.signals.ecgsyn.rr_tachogram`)
+synthesizes HRV with a bimodal LF/HF spectrum; these are the standard
+time- and frequency-domain statistics that *measure* HRV from detected or
+annotated beats.  They close the loop for validation (the synthesizer's
+parameters must be recoverable from its own output) and give the
+diagnostic layer a second clinically meaningful readout: compression must
+not corrupt RR statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["rr_intervals", "HrvSummary", "hrv_summary", "lf_hf_ratio"]
+
+
+def rr_intervals(beat_samples: Sequence[int], fs_hz: float) -> np.ndarray:
+    """RR intervals in seconds from beat sample indices."""
+    if fs_hz <= 0:
+        raise ValueError("fs must be positive")
+    samples = np.asarray(sorted(int(s) for s in beat_samples), dtype=np.int64)
+    if samples.size < 2:
+        raise ValueError("need at least two beats")
+    rr = np.diff(samples) / fs_hz
+    if np.any(rr <= 0):
+        raise ValueError("beat indices must be strictly increasing")
+    return rr
+
+
+@dataclass(frozen=True)
+class HrvSummary:
+    """Standard short-term HRV statistics.
+
+    Attributes
+    ----------
+    mean_rr_s:
+        Mean RR interval (seconds).
+    mean_hr_bpm:
+        Mean heart rate.
+    sdnn_s:
+        Standard deviation of RR intervals.
+    rmssd_s:
+        Root-mean-square of successive RR differences (vagal tone proxy).
+    pnn50:
+        Fraction of successive RR differences exceeding 50 ms.
+    """
+
+    mean_rr_s: float
+    mean_hr_bpm: float
+    sdnn_s: float
+    rmssd_s: float
+    pnn50: float
+
+
+def hrv_summary(beat_samples: Sequence[int], fs_hz: float) -> HrvSummary:
+    """Time-domain HRV summary from beat positions."""
+    rr = rr_intervals(beat_samples, fs_hz)
+    mean_rr = float(np.mean(rr))
+    diffs = np.diff(rr)
+    if diffs.size:
+        rmssd = float(np.sqrt(np.mean(diffs**2)))
+        pnn50 = float(np.mean(np.abs(diffs) > 0.05))
+    else:
+        rmssd = 0.0
+        pnn50 = 0.0
+    return HrvSummary(
+        mean_rr_s=mean_rr,
+        mean_hr_bpm=60.0 / mean_rr,
+        sdnn_s=float(np.std(rr)),
+        rmssd_s=rmssd,
+        pnn50=pnn50,
+    )
+
+
+def lf_hf_ratio(
+    beat_samples: Sequence[int],
+    fs_hz: float,
+    *,
+    resample_hz: float = 4.0,
+    lf_band: tuple = (0.04, 0.15),
+    hf_band: tuple = (0.15, 0.4),
+) -> float:
+    """LF/HF spectral power ratio of the RR tachogram.
+
+    The tachogram is linearly resampled onto a uniform grid, Hann-windowed
+    and periodogram-integrated over the standard LF and HF bands — the
+    quantity the synthesizer's ``RRParameters.lf_hf_ratio`` controls.
+    """
+    rr = rr_intervals(beat_samples, fs_hz)
+    if rr.size < 8:
+        raise ValueError("need at least 8 RR intervals for a spectrum")
+    beat_times = np.cumsum(rr)
+    grid = np.arange(beat_times[0], beat_times[-1], 1.0 / resample_hz)
+    tachogram = np.interp(grid, beat_times, rr)
+    tachogram = tachogram - float(np.mean(tachogram))
+    windowed = tachogram * np.hanning(tachogram.size)
+    spec = np.abs(np.fft.rfft(windowed)) ** 2
+    freqs = np.fft.rfftfreq(windowed.size, d=1.0 / resample_hz)
+
+    def band_power(lo: float, hi: float) -> float:
+        return float(spec[(freqs >= lo) & (freqs < hi)].sum())
+
+    lf = band_power(*lf_band)
+    hf = band_power(*hf_band)
+    if hf <= 0:
+        raise ValueError("no HF power (record too short or beats too regular)")
+    return lf / hf

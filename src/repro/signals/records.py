@@ -1,0 +1,196 @@
+"""Record containers mirroring the MIT-BIH / WFDB metadata the paper relies on.
+
+The MIT-BIH Arrhythmia Database stores each record as integer ADC units
+("ADU") with a gain (ADU per physical mV) and a baseline offset.  The paper's
+plots (Fig. 2) are in raw ADC units around ~1000-1200 ADU; its metrics are
+computed on the sampled waveform.  This module defines:
+
+* :class:`RecordHeader` — sampling-rate / ADC metadata,
+* :class:`Record` — an immutable single-lead record holding both the ADU
+  stream and conversion helpers to physical millivolts,
+* :class:`BeatAnnotation` — minimal beat labels produced by the synthesizer
+  (useful for morphology-aware experiments and tests).
+
+The synthetic database (:mod:`repro.signals.database`) produces these; all
+downstream code (front-ends, experiments, benchmarks) consumes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["RecordHeader", "Record", "BeatAnnotation", "MITBIH_HEADER"]
+
+
+@dataclass(frozen=True)
+class RecordHeader:
+    """Sampling and ADC metadata for a record.
+
+    Attributes
+    ----------
+    fs_hz:
+        Sampling frequency in Hz (360 for MIT-BIH).
+    resolution_bits:
+        ADC resolution in bits (11 for MIT-BIH).
+    adc_gain:
+        ADU per millivolt (200 for MIT-BIH: 11 bits over a 10 mV range).
+    adc_zero:
+        ADU value corresponding to 0 mV (1024 for MIT-BIH).
+    lead:
+        Lead name, informational only.
+    """
+
+    fs_hz: float = 360.0
+    resolution_bits: int = 11
+    adc_gain: float = 200.0
+    adc_zero: int = 1024
+    lead: str = "MLII"
+
+    @property
+    def adc_levels(self) -> int:
+        """Number of representable ADC codes (``2**resolution_bits``)."""
+        return 1 << self.resolution_bits
+
+    @property
+    def full_scale_mv(self) -> float:
+        """Peak-to-peak input range in millivolts."""
+        return self.adc_levels / self.adc_gain
+
+    def mv_to_adu(self, millivolts: np.ndarray) -> np.ndarray:
+        """Convert physical millivolts to (clipped, rounded) ADC units."""
+        adu = np.round(np.asarray(millivolts, dtype=float) * self.adc_gain) + self.adc_zero
+        return np.clip(adu, 0, self.adc_levels - 1).astype(np.int64)
+
+    def adu_to_mv(self, adu: np.ndarray) -> np.ndarray:
+        """Convert ADC units back to physical millivolts."""
+        return (np.asarray(adu, dtype=float) - self.adc_zero) / self.adc_gain
+
+
+#: Header matching the MIT-BIH Arrhythmia Database acquisition settings
+#: described in Section IV of the paper.
+MITBIH_HEADER = RecordHeader()
+
+
+@dataclass(frozen=True)
+class BeatAnnotation:
+    """A single annotated beat.
+
+    Attributes
+    ----------
+    sample:
+        Index of the R-peak (or fiducial point) in the record.
+    symbol:
+        MIT-BIH-style beat code: ``"N"`` normal, ``"V"`` premature
+        ventricular contraction, ``"A"`` atrial premature beat.
+    """
+
+    sample: int
+    symbol: str = "N"
+
+
+@dataclass(frozen=True)
+class Record:
+    """An immutable single-lead ECG record in ADC units.
+
+    Use :meth:`signal_mv` for the physical waveform and :meth:`windows` to
+    iterate fixed-size processing windows as the front-end does.
+    """
+
+    name: str
+    adu: np.ndarray
+    header: RecordHeader = field(default_factory=RecordHeader)
+    annotations: Tuple[BeatAnnotation, ...] = ()
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.adu)
+        if arr.ndim != 1:
+            raise ValueError("record signal must be one-dimensional")
+        if arr.size == 0:
+            raise ValueError("record signal must be non-empty")
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise TypeError("record signal must be integer ADC units")
+        if arr.min() < 0 or arr.max() >= self.header.adc_levels:
+            raise ValueError(
+                "ADC samples out of range for a "
+                f"{self.header.resolution_bits}-bit converter"
+            )
+        object.__setattr__(self, "adu", arr.astype(np.int64))
+
+    def __len__(self) -> int:
+        return int(self.adu.size)
+
+    @property
+    def duration_s(self) -> float:
+        """Record duration in seconds."""
+        return len(self) / self.header.fs_hz
+
+    def signal_mv(self) -> np.ndarray:
+        """The waveform in physical millivolts (float array)."""
+        return self.header.adu_to_mv(self.adu)
+
+    def time_axis(self) -> np.ndarray:
+        """Sample times in seconds."""
+        return np.arange(len(self)) / self.header.fs_hz
+
+    def windows(
+        self, window_len: int, *, drop_last: bool = True
+    ) -> Iterator[np.ndarray]:
+        """Iterate non-overlapping fixed-size windows of raw ADU samples.
+
+        This mirrors the paper's "fixed size processing window" framing.
+        With ``drop_last`` (default) a trailing partial window is skipped,
+        matching what a streaming front-end would transmit.
+        """
+        if window_len <= 0:
+            raise ValueError("window_len must be positive")
+        n_full = len(self) // window_len
+        for k in range(n_full):
+            yield self.adu[k * window_len : (k + 1) * window_len]
+        if not drop_last and len(self) % window_len:
+            yield self.adu[n_full * window_len :]
+
+    def window_count(self, window_len: int) -> int:
+        """Number of full windows :meth:`windows` will yield."""
+        if window_len <= 0:
+            raise ValueError("window_len must be positive")
+        return len(self) // window_len
+
+    def beat_samples(self, symbol: str = "") -> List[int]:
+        """Annotation sample indices, optionally filtered by beat symbol."""
+        return [
+            a.sample for a in self.annotations if not symbol or a.symbol == symbol
+        ]
+
+    def mean_heart_rate_bpm(self) -> float:
+        """Mean heart rate estimated from the beat annotations."""
+        peaks = self.beat_samples()
+        if len(peaks) < 2:
+            raise ValueError("need at least two annotated beats")
+        rr_s = np.diff(np.asarray(peaks)) / self.header.fs_hz
+        return float(60.0 / np.mean(rr_s))
+
+
+def concatenate_records(name: str, records: Sequence[Record]) -> Record:
+    """Concatenate several records with identical headers into one.
+
+    Annotation sample indices are shifted appropriately.  Mostly useful in
+    tests and long-run examples.
+    """
+    if not records:
+        raise ValueError("need at least one record")
+    header = records[0].header
+    for rec in records[1:]:
+        if rec.header != header:
+            raise ValueError("all records must share the same header")
+    adu = np.concatenate([rec.adu for rec in records])
+    annotations: List[BeatAnnotation] = []
+    offset = 0
+    for rec in records:
+        annotations.extend(
+            BeatAnnotation(a.sample + offset, a.symbol) for a in rec.annotations
+        )
+        offset += len(rec)
+    return Record(name=name, adu=adu, header=header, annotations=tuple(annotations))

@@ -1,0 +1,278 @@
+"""Minimal WFDB-compatible record I/O (MIT-BIH format 212).
+
+The paper evaluates on the MIT-BIH Arrhythmia Database, distributed in the
+WFDB format: a text header (``<record>.hea``) plus a packed binary signal
+file (``<record>.dat``, format 212 = two 12-bit samples in three bytes).
+This module implements enough of that format to
+
+* **read** real MIT-BIH records if the user drops the PhysioNet files next
+  to this package (the reproduction then runs on the genuine data), and
+* **write** our synthetic records in the same format, so external WFDB
+  tooling can inspect them.
+
+Only single- and dual-signal format-212 records are supported — exactly
+what the MIT-BIH Arrhythmia Database uses.  No network access, no WFDB
+library dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.signals.records import Record, RecordHeader
+
+__all__ = [
+    "WfdbSignalInfo",
+    "read_header",
+    "read_record",
+    "write_record",
+    "write_record_pair",
+    "pack_212",
+    "unpack_212",
+]
+
+
+@dataclass(frozen=True)
+class WfdbSignalInfo:
+    """One signal line of a WFDB header."""
+
+    file_name: str
+    fmt: int
+    adc_gain: float
+    adc_resolution: int
+    adc_zero: int
+    initial_value: int
+    description: str
+
+
+def pack_212(samples: np.ndarray) -> bytes:
+    """Pack 12-bit two's-complement samples into WFDB format 212.
+
+    Two samples ``a, b`` become three bytes::
+
+        byte0 = a[7:0]
+        byte1 = b[11:8] << 4 | a[11:8]
+        byte2 = b[7:0]
+
+    An odd trailing sample is padded with a zero sample (standard
+    behaviour; the header's sample count disambiguates).
+    """
+    arr = np.asarray(samples)
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise TypeError("format 212 packs integer samples")
+    if arr.size and (arr.min() < -2048 or arr.max() > 2047):
+        raise ValueError("format 212 holds 12-bit samples (-2048..2047)")
+    vals = arr.astype(np.int64)
+    if vals.size % 2:
+        vals = np.concatenate([vals, [0]])
+    # Two's complement to 12-bit unsigned.
+    u = np.where(vals < 0, vals + 4096, vals).astype(np.uint16)
+    a = u[0::2]
+    b = u[1::2]
+    out = np.empty(3 * a.size, dtype=np.uint8)
+    out[0::3] = a & 0xFF
+    out[1::3] = ((b >> 8) << 4) | (a >> 8)
+    out[2::3] = b & 0xFF
+    return out.tobytes()
+
+
+def unpack_212(data: bytes, n_samples: int) -> np.ndarray:
+    """Inverse of :func:`pack_212`: the first ``n_samples`` samples."""
+    if n_samples < 0:
+        raise ValueError("n_samples cannot be negative")
+    raw = np.frombuffer(data, dtype=np.uint8)
+    if raw.size % 3:
+        raise ValueError("format 212 payload length must be a multiple of 3")
+    pairs = raw.size // 3
+    if n_samples > 2 * pairs:
+        raise ValueError("payload holds fewer samples than requested")
+    b0 = raw[0::3].astype(np.int64)
+    b1 = raw[1::3].astype(np.int64)
+    b2 = raw[2::3].astype(np.int64)
+    a = ((b1 & 0x0F) << 8) | b0
+    b = ((b1 >> 4) << 8) | b2
+    out = np.empty(2 * pairs, dtype=np.int64)
+    out[0::2] = a
+    out[1::2] = b
+    out = np.where(out > 2047, out - 4096, out)
+    return out[:n_samples]
+
+
+def _parse_header_text(text: str) -> Tuple[str, int, float, int, List[WfdbSignalInfo]]:
+    lines = [
+        ln.strip()
+        for ln in text.splitlines()
+        if ln.strip() and not ln.startswith("#")
+    ]
+    if not lines:
+        raise ValueError("empty WFDB header")
+    head = lines[0].split()
+    if len(head) < 3:
+        raise ValueError("malformed WFDB record line")
+    record_name = head[0]
+    n_signals = int(head[1])
+    fs = float(head[2])
+    n_samples = int(head[3]) if len(head) > 3 else 0
+    signals = []
+    for ln in lines[1 : 1 + n_signals]:
+        parts = ln.split()
+        if len(parts) < 2:
+            raise ValueError(f"malformed signal line: {ln!r}")
+        file_name = parts[0]
+        fmt = int(parts[1].split("x")[0].split(":")[0].split("+")[0])
+        # gain may carry "(baseline)/units" decorations: 200(1024)/mV
+        gain_field = parts[2] if len(parts) > 2 else "200"
+        gain_str = gain_field.split("/")[0]
+        if "(" in gain_str:
+            gain, baseline = gain_str.split("(")
+            adc_zero = int(baseline.rstrip(")"))
+            adc_gain = float(gain)
+        else:
+            adc_gain = float(gain_str)
+            adc_zero = int(parts[4]) if len(parts) > 4 else 0
+        adc_res = int(parts[3]) if len(parts) > 3 else 12
+        if "(" not in gain_str and len(parts) > 4:
+            adc_zero = int(parts[4])
+        initial = int(parts[5]) if len(parts) > 5 else adc_zero
+        description = " ".join(parts[8:]) if len(parts) > 8 else f"sig{len(signals)}"
+        signals.append(
+            WfdbSignalInfo(
+                file_name=file_name,
+                fmt=fmt,
+                adc_gain=adc_gain,
+                adc_resolution=adc_res,
+                adc_zero=adc_zero,
+                initial_value=initial,
+                description=description,
+            )
+        )
+    return record_name, n_samples, fs, n_signals, signals
+
+
+def read_header(path: Path) -> Tuple[str, int, float, List[WfdbSignalInfo]]:
+    """Parse a ``.hea`` file: (record name, samples/signal, fs, signals)."""
+    text = Path(path).read_text()
+    name, n_samples, fs, _, signals = _parse_header_text(text)
+    return name, n_samples, fs, signals
+
+
+def read_record(
+    header_path: Path, *, channel: int = 0, name: Optional[str] = None
+) -> Record:
+    """Load one channel of a format-212 WFDB record as a :class:`Record`.
+
+    Parameters
+    ----------
+    header_path:
+        Path to the ``.hea`` file; the ``.dat`` is resolved from the
+        signal line, relative to the header's directory.
+    channel:
+        Which signal to extract (MIT-BIH records have two; the paper uses
+        the first, MLII).
+    name:
+        Override the record name (defaults to the header's).
+    """
+    header_path = Path(header_path)
+    rec_name, n_samples, fs, signals = read_header(header_path)
+    if not 0 <= channel < len(signals):
+        raise ValueError(f"record has {len(signals)} signals; channel {channel} invalid")
+    for info in signals:
+        if info.fmt != 212:
+            raise ValueError(f"only format 212 is supported, got {info.fmt}")
+    dat_path = header_path.parent / signals[channel].file_name
+    data = dat_path.read_bytes()
+    interleaved = unpack_212(data, n_samples * len(signals))
+    chan = interleaved[channel :: len(signals)]
+
+    info = signals[channel]
+    # WFDB samples are signed around adc_zero; Record stores unsigned ADU.
+    bits = info.adc_resolution if info.adc_resolution > 0 else 12
+    header = RecordHeader(
+        fs_hz=fs,
+        resolution_bits=min(bits, 12),
+        adc_gain=info.adc_gain,
+        adc_zero=info.adc_zero,
+        lead=info.description or "sig",
+    )
+    adu = np.clip(chan, 0, header.adc_levels - 1).astype(np.int64)
+    return Record(name=name or rec_name, adu=adu, header=header)
+
+
+def write_record(record: Record, directory: Path) -> Tuple[Path, Path]:
+    """Write a :class:`Record` as a single-signal format-212 WFDB pair.
+
+    Returns the ``(.hea, .dat)`` paths.  Samples are stored as raw ADU
+    (consistent with how MIT-BIH stores its unsigned 11-bit codes inside
+    the 12-bit container).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    hea_path = directory / f"{record.name}.hea"
+    dat_path = directory / f"{record.name}.dat"
+
+    samples = record.adu.astype(np.int64)
+    if samples.max() > 2047:
+        raise ValueError("record does not fit in a 12-bit format-212 container")
+    dat_path.write_bytes(pack_212(samples))
+
+    h = record.header
+    initial = int(samples[0])
+    header_text = (
+        f"{record.name} 1 {h.fs_hz:g} {len(record)}\n"
+        f"{dat_path.name} 212 {h.adc_gain:g}({h.adc_zero})/mV "
+        f"{h.resolution_bits} {h.adc_zero} {initial} 0 0 {h.lead}\n"
+        f"# written by repro.signals.wfdb_io\n"
+    )
+    hea_path.write_text(header_text)
+    return hea_path, dat_path
+
+
+def write_record_pair(
+    first: Record, second: Record, directory: Path
+) -> Tuple[Path, Path]:
+    """Write two sample-aligned leads as one 2-signal format-212 record.
+
+    This matches the layout of the real MIT-BIH files (two interleaved
+    signals in one ``.dat``); either channel loads back with
+    :func:`read_record`'s ``channel`` argument.
+    """
+    if first.name != second.name:
+        raise ValueError("both leads must belong to the same record")
+    if len(first) != len(second):
+        raise ValueError("leads must be sample-aligned (equal length)")
+    if first.header.fs_hz != second.header.fs_hz:
+        raise ValueError("leads must share the sampling rate")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    hea_path = directory / f"{first.name}.hea"
+    dat_path = directory / f"{first.name}.dat"
+
+    a = first.adu.astype(np.int64)
+    b = second.adu.astype(np.int64)
+    if max(int(a.max()), int(b.max())) > 2047:
+        raise ValueError("records do not fit in a 12-bit format-212 container")
+    interleaved = np.empty(2 * a.size, dtype=np.int64)
+    interleaved[0::2] = a
+    interleaved[1::2] = b
+    dat_path.write_bytes(pack_212(interleaved))
+
+    def signal_line(record: Record) -> str:
+        h = record.header
+        return (
+            f"{dat_path.name} 212 {h.adc_gain:g}({h.adc_zero})/mV "
+            f"{h.resolution_bits} {h.adc_zero} {int(record.adu[0])} 0 0 "
+            f"{h.lead}"
+        )
+
+    header_text = (
+        f"{first.name} 2 {first.header.fs_hz:g} {len(first)}\n"
+        f"{signal_line(first)}\n"
+        f"{signal_line(second)}\n"
+        f"# written by repro.signals.wfdb_io\n"
+    )
+    hea_path.write_text(header_text)
+    return hea_path, dat_path

@@ -1,0 +1,49 @@
+"""Sparsifying transforms: orthogonal wavelets (built from scratch) and DCT."""
+
+from repro.wavelets.dwt import (
+    WaveletCoeffs,
+    coeff_slices,
+    dwt_step,
+    idwt_step,
+    max_level,
+    wavedec,
+    waverec,
+)
+from repro.wavelets.filters import (
+    MAX_VANISHING_MOMENTS,
+    WaveletFilter,
+    available_wavelets,
+    daubechies_lowpass,
+    quadrature_mirror,
+    symlet_lowpass,
+    wavelet,
+)
+from repro.wavelets.operators import (
+    DctBasis,
+    IdentityBasis,
+    SynthesisBasis,
+    WaveletBasis,
+    make_basis,
+)
+
+__all__ = [
+    "DctBasis",
+    "IdentityBasis",
+    "MAX_VANISHING_MOMENTS",
+    "SynthesisBasis",
+    "WaveletBasis",
+    "WaveletCoeffs",
+    "WaveletFilter",
+    "available_wavelets",
+    "coeff_slices",
+    "daubechies_lowpass",
+    "dwt_step",
+    "idwt_step",
+    "make_basis",
+    "max_level",
+    "quadrature_mirror",
+    "symlet_lowpass",
+    "wavedec",
+    "wavelet",
+    "waverec",
+]

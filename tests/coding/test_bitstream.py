@@ -1,0 +1,99 @@
+"""Tests of the MSB-first bit writer/reader."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.bitstream import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_docstring_example(self):
+        w = BitWriter()
+        w.write_bits(0b101, 3)
+        w.write_uint(7, 5)
+        assert w.bit_length == 8
+        assert w.getvalue() == b"\xa7"
+
+    def test_empty(self):
+        w = BitWriter()
+        assert w.bit_length == 0
+        assert w.getvalue() == b""
+
+    def test_padding_to_byte(self):
+        w = BitWriter()
+        w.write_bit(1)
+        assert w.getvalue() == b"\x80"
+        assert w.bit_length == 1
+
+    def test_cross_byte_value(self):
+        w = BitWriter()
+        w.write_uint(0xABC, 12)
+        assert w.getvalue() == b"\xab\xc0"
+
+    def test_write_code(self):
+        w = BitWriter()
+        w.write_code([1, 0, 1, 1])
+        assert w.getvalue() == b"\xb0"
+
+    def test_value_too_wide_rejected(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(8, 3)
+
+    def test_negative_rejected(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(-1, 4)
+
+    def test_bad_bit_rejected(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bit(2)
+
+    def test_zero_width_write_is_noop(self):
+        w = BitWriter()
+        w.write_bits(0, 0)
+        assert w.bit_length == 0
+
+
+class TestBitReader:
+    def test_reads_back_writer_output(self):
+        w = BitWriter()
+        w.write_uint(0b1101, 4)
+        w.write_uint(0x3FF, 10)
+        r = BitReader(w.getvalue(), w.bit_length)
+        assert r.read_uint(4) == 0b1101
+        assert r.read_uint(10) == 0x3FF
+        assert r.bits_remaining == 0
+
+    def test_eof_raises(self):
+        r = BitReader(b"\xff", bit_length=3)
+        r.read_bits(3)
+        with pytest.raises(EOFError):
+            r.read_bit()
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            BitReader(b"\x00", bit_length=9)
+
+    def test_default_limit_is_buffer(self):
+        r = BitReader(b"\x00\x00")
+        assert r.bits_remaining == 16
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2**20 - 1), st.integers(1, 20)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_roundtrip_property(self, fields):
+        """Any sequence of (value, width) fields round-trips bit-exactly."""
+        w = BitWriter()
+        clipped = [(v % (1 << width), width) for v, width in fields]
+        for value, width in clipped:
+            w.write_uint(value, width)
+        r = BitReader(w.getvalue(), w.bit_length)
+        for value, width in clipped:
+            assert r.read_uint(width) == value

@@ -1,0 +1,134 @@
+"""Tests of the offline difference codebook (paper §III-B, Figs. 5-6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.codebook import ESCAPE, DifferenceCodebook, train_codebook
+from repro.sensing.quantizers import requantize_codes
+
+
+def _train(streams, bits=7, **kw):
+    return train_codebook([np.asarray(s, dtype=np.int64) for s in streams], bits, **kw)
+
+
+class TestTraining:
+    def test_contains_escape_and_runs(self):
+        book = _train([[10, 10, 11, 11, 12]])
+        assert ESCAPE in book.codec.codes
+        assert 0 in book.codec.codes
+
+    def test_resolution_recorded(self):
+        book = _train([[0, 1, 2]], bits=5)
+        assert book.resolution_bits == 5
+
+    def test_coverage_trims_alphabet(self):
+        rng = np.random.default_rng(0)
+        # Mostly small diffs, occasionally huge ones.
+        steps = np.where(rng.uniform(size=5000) < 0.99,
+                         rng.integers(-1, 2, 5000),
+                         rng.integers(-60, 60, 5000))
+        stream = np.clip(64 + np.cumsum(steps), 0, 127).astype(np.int64)
+        full = _train([stream], coverage=1.0)
+        trimmed = _train([stream], coverage=0.99)
+        assert trimmed.n_entries < full.n_entries
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            train_codebook([np.array([5], dtype=np.int64)], 7)
+
+    def test_bad_coverage_rejected(self):
+        with pytest.raises(ValueError):
+            _train([[0, 1]], coverage=0.0)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_on_training_data(self, record_100):
+        codes = requantize_codes(record_100.adu, 11, 7)
+        book = _train([codes])
+        window = codes[:512]
+        payload, bits = book.encode_window(window)
+        assert np.array_equal(book.decode_window(payload, 512, bits), window)
+
+    def test_roundtrip_with_escapes(self):
+        """Symbols unseen in training must survive via the escape path."""
+        book = _train([[64, 64, 65, 65, 64]])
+        wild = np.array([0, 100, 3, 90, 90, 90, 2], dtype=np.int64)
+        payload, bits = book.encode_window(wild)
+        assert np.array_equal(book.decode_window(payload, wild.size, bits), wild)
+
+    def test_compression_beats_raw_on_redundant_stream(self):
+        stream = np.repeat(np.arange(8, dtype=np.int64) + 60, 64)
+        book = _train([stream])
+        assert book.compressed_fraction(stream) < 0.2
+
+    def test_out_of_range_codes_rejected(self):
+        book = _train([[0, 1, 2]], bits=4)
+        with pytest.raises(ValueError):
+            book.encode_window(np.array([16], dtype=np.int64))
+
+    def test_single_sample_window(self):
+        book = _train([[3, 3, 4]])
+        payload, bits = book.encode_window(np.array([5], dtype=np.int64))
+        assert bits == book.resolution_bits
+        assert np.array_equal(book.decode_window(payload, 1, bits), [5])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 127), min_size=1, max_size=400))
+    def test_roundtrip_property(self, values):
+        """Lossless on arbitrary 7-bit streams, even fully untrained."""
+        book = _train([[60, 60, 61, 61, 62, 62]])
+        window = np.asarray(values, dtype=np.int64)
+        payload, bits = book.encode_window(window)
+        assert np.array_equal(
+            book.decode_window(payload, window.size, bits), window
+        )
+
+
+class TestRunLengthMode:
+    def test_rle_beats_plain_on_zero_heavy_streams(self, record_100):
+        codes = requantize_codes(record_100.adu, 11, 4)
+        rle = train_codebook([codes], 4, use_run_length=True)
+        plain = train_codebook([codes], 4, use_run_length=False)
+        window = codes[:1024]
+        assert rle.compressed_fraction(window) < plain.compressed_fraction(window)
+
+    def test_plain_mode_roundtrip(self, record_100):
+        codes = requantize_codes(record_100.adu, 11, 7)
+        book = train_codebook([codes], 7, use_run_length=False)
+        window = codes[:512]
+        payload, bits = book.encode_window(window)
+        assert np.array_equal(book.decode_window(payload, 512, bits), window)
+
+    def test_sub_bit_per_sample_possible(self):
+        """The paper's Table I regime: a constant stream codes below
+        1 bit/sample with run tokens (impossible for plain Huffman)."""
+        stream = np.full(4096, 9, dtype=np.int64)
+        book = train_codebook([stream], 7, use_run_length=True)
+        assert book.compressed_fraction(stream) * 7 < 0.2
+
+
+class TestStorageModel:
+    def test_entry_size_scales_with_resolution(self):
+        lo = _train([[1, 1, 2, 2, 3]], bits=4)
+        hi = _train([[1, 1, 2, 2, 3]], bits=10)
+        # Same alphabet; wider symbols may need more bytes per entry.
+        assert hi.storage_bytes() >= lo.storage_bytes()
+
+    def test_storage_counts_all_entries(self):
+        book = _train([[5, 5, 6, 6, 7, 7]])
+        assert book.storage_bytes() % book.n_entries == 0
+
+    def test_validation_requires_run_tokens(self):
+        from repro.coding.huffman import HuffmanCodec
+
+        codec = HuffmanCodec.from_frequencies({0: 1.0, ESCAPE: 1.0})
+        with pytest.raises(ValueError):
+            DifferenceCodebook(resolution_bits=7, codec=codec, use_run_length=True)
+
+    def test_validation_requires_escape(self):
+        from repro.coding.huffman import HuffmanCodec
+
+        codec = HuffmanCodec.from_frequencies({0: 1.0, 1: 1.0})
+        with pytest.raises(ValueError):
+            DifferenceCodebook(resolution_bits=7, codec=codec, use_run_length=False)

@@ -1,0 +1,86 @@
+"""Tests of difference coding and its statistics (paper Fig. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.differential import (
+    difference_decode,
+    difference_encode,
+    difference_histogram,
+    difference_pdf,
+    empirical_entropy_bits,
+)
+
+
+class TestDifferenceTransform:
+    def test_known_stream(self):
+        first, diffs = difference_encode(np.array([5, 7, 7, 4], dtype=np.int64))
+        assert first == 5
+        assert list(diffs) == [2, 0, -3]
+
+    def test_roundtrip(self, rng):
+        codes = rng.integers(0, 128, size=500)
+        first, diffs = difference_encode(codes)
+        assert np.array_equal(difference_decode(first, diffs), codes)
+
+    def test_single_sample(self):
+        first, diffs = difference_encode(np.array([42], dtype=np.int64))
+        assert first == 42
+        assert diffs.size == 0
+        assert np.array_equal(difference_decode(first, diffs), [42])
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            difference_encode(np.array([1.5]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            difference_encode(np.array([], dtype=np.int64))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 1023), min_size=1, max_size=300))
+    def test_roundtrip_property(self, values):
+        codes = np.asarray(values, dtype=np.int64)
+        first, diffs = difference_encode(codes)
+        assert np.array_equal(difference_decode(first, diffs), codes)
+
+
+class TestStatistics:
+    def test_histogram_counts(self):
+        codes = np.array([0, 0, 1, 1, 1, 0], dtype=np.int64)
+        hist = difference_histogram(codes)
+        assert hist == {0: 3, 1: 1, -1: 1}
+
+    def test_pdf_sums_to_one(self, rng):
+        codes = rng.integers(0, 16, size=1000)
+        support, probs = difference_pdf(codes)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_pdf_restricted_support(self):
+        codes = np.array([0, 5, 0, 5, 0], dtype=np.int64)
+        support, probs = difference_pdf(codes, support=np.array([0]))
+        assert probs.size == 1
+        assert probs[0] == 0.0  # no zero differences in this stream
+
+    def test_constant_stream_entropy_zero(self):
+        codes = np.full(100, 7, dtype=np.int64)
+        assert empirical_entropy_bits(codes) == pytest.approx(0.0)
+
+    def test_uniform_diffs_entropy(self):
+        # Alternating +1/-1 differences: two equiprobable symbols = 1 bit.
+        codes = np.array([0, 1] * 100, dtype=np.int64)
+        assert empirical_entropy_bits(codes) == pytest.approx(1.0, abs=0.05)
+
+    def test_lower_resolution_has_lower_entropy(self, record_100):
+        """The Fig. 4/6 mechanism: coarser quantization → sharper diff
+        distribution → lower entropy."""
+        from repro.sensing.quantizers import requantize_codes
+
+        e = {
+            bits: empirical_entropy_bits(
+                requantize_codes(record_100.adu, 11, bits)
+            )
+            for bits in (4, 6, 8, 10)
+        }
+        assert e[4] < e[6] < e[8] < e[10]

@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite.
+
+Keeps expensive objects (records, bases, codebooks) session-scoped so the
+several hundred tests stay fast, and pins every random seed so failures
+reproduce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coding.codebook import train_codebook
+from repro.core.config import FrontEndConfig
+from repro.recovery.pdhg import PdhgSettings
+from repro.sensing.quantizers import requantize_codes
+from repro.signals.database import load_record
+from repro.wavelets.operators import WaveletBasis
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def record_100():
+    """A 20 s synthetic record (noisy, like the experiments use)."""
+    return load_record("100", duration_s=20.0)
+
+
+@pytest.fixture(scope="session")
+def record_clean():
+    """A 20 s noise-free record for tests needing a clean reference."""
+    return load_record("103", duration_s=20.0, clean=True)
+
+
+@pytest.fixture(scope="session")
+def basis_128() -> WaveletBasis:
+    """Small wavelet basis for solver tests (n = 128 keeps them quick)."""
+    return WaveletBasis(128, "db4")
+
+
+@pytest.fixture(scope="session")
+def basis_512() -> WaveletBasis:
+    """Full-size basis matching the default config."""
+    return WaveletBasis(512, "db4")
+
+
+@pytest.fixture(scope="session")
+def codebook_7bit():
+    """A 7-bit difference codebook trained on two records."""
+    streams = [
+        requantize_codes(load_record(name, duration_s=20.0).adu, 11, 7)
+        for name in ("100", "101")
+    ]
+    return train_codebook(streams, 7)
+
+
+@pytest.fixture
+def fast_config(codebook_7bit) -> FrontEndConfig:
+    """A small, quick front-end config for end-to-end tests.
+
+    n = 128 windows and a loose solver keep a full pipeline run well under
+    a second while exercising every code path.
+    """
+    return FrontEndConfig(
+        window_len=128,
+        n_measurements=48,
+        solver=PdhgSettings(max_iter=600, tol=5e-4),
+    )

@@ -1,0 +1,112 @@
+"""Tests of the transmit frame format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.packets import HEADER_BITS, WindowPacket, split_stream
+
+
+def _packet(m=8, bits=12, payload=b"\xde\xad", payload_bits=15, index=3, n=128):
+    rng = np.random.default_rng(0)
+    codes = rng.integers(0, 1 << bits, size=m)
+    return WindowPacket(
+        window_index=index,
+        n=n,
+        measurement_codes=codes,
+        measurement_bits=bits,
+        lowres_payload=payload,
+        lowres_bit_length=payload_bits,
+    )
+
+
+class TestPacketFields:
+    def test_bit_accounting(self):
+        p = _packet()
+        assert p.cs_bits == 8 * 12
+        assert p.total_bits == HEADER_BITS + 96 + 15
+
+    def test_budget(self):
+        p = _packet()
+        budget = p.budget()
+        assert budget.n_samples == 128
+        assert budget.original_bits == 128 * 12
+        assert budget.cs_bits == 96
+        assert budget.header_bits == HEADER_BITS
+
+    def test_code_range_validated(self):
+        with pytest.raises(ValueError):
+            WindowPacket(
+                window_index=0, n=4,
+                measurement_codes=np.array([4096]),
+                measurement_bits=12,
+                lowres_payload=b"", lowres_bit_length=0,
+            )
+
+    def test_float_codes_rejected(self):
+        with pytest.raises(TypeError):
+            WindowPacket(
+                window_index=0, n=4,
+                measurement_codes=np.array([1.5]),
+                measurement_bits=12,
+                lowres_payload=b"", lowres_bit_length=0,
+            )
+
+    def test_payload_length_validated(self):
+        with pytest.raises(ValueError):
+            WindowPacket(
+                window_index=0, n=4,
+                measurement_codes=np.array([1]),
+                measurement_bits=12,
+                lowres_payload=b"\x00", lowres_bit_length=9,
+            )
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        p = _packet()
+        q = WindowPacket.from_bytes(p.to_bytes(), measurement_bits=12)
+        assert q.window_index == p.window_index
+        assert q.n == p.n
+        assert np.array_equal(q.measurement_codes, p.measurement_codes)
+        assert q.lowres_bit_length == p.lowres_bit_length
+        # Payload bits identical (trailing pad bits may differ in length).
+        assert q.to_bytes() == p.to_bytes()
+
+    def test_empty_payload_roundtrip(self):
+        p = _packet(payload=b"", payload_bits=0)
+        q = WindowPacket.from_bytes(p.to_bytes(), measurement_bits=12)
+        assert q.lowres_bit_length == 0
+
+    def test_byte_length_matches_bit_length(self):
+        p = _packet()
+        assert len(p.to_bytes()) == (p.total_bits + 7) // 8
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        m=st.integers(1, 40),
+        bits=st.integers(4, 16),
+        payload_bits=st.integers(0, 64),
+        index=st.integers(0, 2**31),
+    )
+    def test_roundtrip_property(self, m, bits, payload_bits, index):
+        rng = np.random.default_rng(1)
+        codes = rng.integers(0, 1 << bits, size=m)
+        payload = bytes(rng.integers(0, 256, size=(payload_bits + 7) // 8))
+        p = WindowPacket(
+            window_index=index, n=256,
+            measurement_codes=codes, measurement_bits=bits,
+            lowres_payload=payload, lowres_bit_length=payload_bits,
+        )
+        q = WindowPacket.from_bytes(p.to_bytes(), measurement_bits=bits)
+        assert np.array_equal(q.measurement_codes, codes)
+        assert q.window_index == index
+
+
+class TestSplitStream:
+    def test_back_to_back_frames(self):
+        packets = [_packet(index=i, payload_bits=7 + i) for i in range(4)]
+        stream = b"".join(p.to_bytes() for p in packets)
+        parsed = split_stream(stream, measurement_bits=12, n_packets=4)
+        assert [p.window_index for p in parsed] == [0, 1, 2, 3]
+        assert [p.lowres_bit_length for p in parsed] == [7, 8, 9, 10]

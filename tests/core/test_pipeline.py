@@ -1,0 +1,120 @@
+"""Tests of the end-to-end pipeline helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FrontEndConfig
+from repro.core.pipeline import (
+    RecordOutcome,
+    WindowOutcome,
+    default_codebook,
+    run_database,
+    run_record,
+)
+from repro.metrics.compression import CompressionBudget
+from repro.recovery.pdhg import PdhgSettings
+from repro.signals.database import load_record
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return FrontEndConfig(
+        window_len=128,
+        n_measurements=48,
+        solver=PdhgSettings(max_iter=700, tol=3e-4),
+    )
+
+
+@pytest.fixture(scope="module")
+def record():
+    return load_record("100", duration_s=10.0)
+
+
+class TestRunRecord:
+    def test_hybrid_outcome(self, quick_config, record):
+        out = run_record(record, quick_config, max_windows=2)
+        assert out.method == "hybrid"
+        assert len(out.windows) == 2
+        assert out.mean_snr_db > 10.0
+        assert 0 < out.lowres_overhead_percent < 30.0
+
+    def test_normal_outcome(self, quick_config, record):
+        out = run_record(record, quick_config, method="normal", max_windows=2)
+        assert out.method == "normal"
+        assert all(w.budget.lowres_bits == 0 for w in out.windows)
+
+    def test_hybrid_beats_normal(self, quick_config, record):
+        hy = run_record(record, quick_config, max_windows=2)
+        no = run_record(record, quick_config, method="normal", max_windows=2)
+        assert hy.mean_snr_db > no.mean_snr_db
+
+    def test_cr_accounting(self, quick_config, record):
+        out = run_record(record, quick_config, max_windows=1)
+        assert out.cs_cr_percent == pytest.approx(
+            quick_config.cs_cr_percent, abs=0.1
+        )
+        assert out.net_cr_percent < out.cs_cr_percent
+
+    def test_bad_method_rejected(self, quick_config, record):
+        with pytest.raises(ValueError):
+            run_record(record, quick_config, method="magic")
+
+    def test_record_too_short_rejected(self, quick_config):
+        tiny = load_record("100", duration_s=0.1)
+        with pytest.raises(ValueError):
+            run_record(tiny, quick_config)
+
+    def test_deterministic(self, quick_config, record):
+        a = run_record(record, quick_config, max_windows=1)
+        b = run_record(record, quick_config, max_windows=1)
+        assert a.mean_snr_db == b.mean_snr_db
+
+
+class TestRunDatabase:
+    def test_multiple_records(self, quick_config):
+        records = [load_record(n, duration_s=5.0) for n in ("100", "101")]
+        outs = run_database(records, quick_config, max_windows=1)
+        assert [o.record_name for o in outs] == ["100", "101"]
+
+
+class TestAggregation:
+    def _outcome(self, prds):
+        windows = tuple(
+            WindowOutcome(
+                window_index=i,
+                prd_percent=p,
+                snr_db=-20 * np.log10(0.01 * p),
+                budget=CompressionBudget(128, 1536, 576, 100, 96),
+                solver_iterations=10,
+                solver_converged=True,
+            )
+            for i, p in enumerate(prds)
+        )
+        return RecordOutcome(record_name="x", method="hybrid", windows=windows)
+
+    def test_mean_prd(self):
+        out = self._outcome([4.0, 8.0])
+        assert out.mean_prd == pytest.approx(6.0)
+
+    def test_mean_snr_in_db_domain(self):
+        out = self._outcome([10.0, 1.0])
+        assert out.mean_snr_db == pytest.approx(30.0)
+
+    def test_quartiles(self):
+        out = self._outcome([1.0, 2.0, 4.0, 8.0, 16.0])
+        q25, med, q75 = out.snr_quartiles()
+        assert q25 < med < q75
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RecordOutcome(record_name="x", method="hybrid", windows=())
+
+
+class TestDefaultCodebook:
+    def test_cached(self):
+        a = default_codebook(7)
+        b = default_codebook(7)
+        assert a is b
+
+    def test_per_resolution(self):
+        assert default_codebook(5).resolution_bits == 5

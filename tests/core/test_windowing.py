@@ -1,0 +1,84 @@
+"""Tests of the streaming window framer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.windowing import WindowFramer
+
+
+class TestFramer:
+    def test_exact_multiple(self):
+        framer = WindowFramer(4)
+        out = list(framer.push(np.arange(8)))
+        assert len(out) == 2
+        assert out[0].tolist() == [0, 1, 2, 3]
+        assert out[1].tolist() == [4, 5, 6, 7]
+
+    def test_partial_buffered(self):
+        framer = WindowFramer(4)
+        assert list(framer.push(np.arange(3))) == []
+        assert framer.pending == 3
+        out = list(framer.push(np.arange(3, 6)))
+        assert len(out) == 1
+        assert out[0].tolist() == [0, 1, 2, 3]
+        assert framer.pending == 2
+
+    def test_many_small_pushes(self):
+        framer = WindowFramer(10)
+        collected = []
+        for i in range(25):
+            collected.extend(framer.push(np.array([i])))
+        assert len(collected) == 2
+        assert collected[0].tolist() == list(range(10))
+
+    def test_one_big_push(self):
+        framer = WindowFramer(3)
+        out = list(framer.push(np.arange(10)))
+        assert [w.tolist() for w in out] == [[0, 1, 2], [3, 4, 5], [6, 7, 8]]
+        assert framer.pending == 1
+
+    def test_flush(self):
+        framer = WindowFramer(4)
+        list(framer.push(np.arange(6)))
+        rest = framer.flush()
+        assert rest.tolist() == [4, 5]
+        assert framer.pending == 0
+        assert framer.flush().size == 0
+
+    def test_empty_push(self):
+        framer = WindowFramer(4)
+        assert list(framer.push(np.array([], dtype=int))) == []
+
+    def test_counts(self):
+        framer = WindowFramer(5)
+        list(framer.push(np.arange(12)))
+        assert framer.windows_emitted == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowFramer(0)
+        framer = WindowFramer(4)
+        with pytest.raises(ValueError):
+            list(framer.push(np.zeros((2, 2))))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        chunks=st.lists(st.integers(0, 17), min_size=1, max_size=20),
+        window=st.integers(1, 11),
+    )
+    def test_stream_equivalence_property(self, chunks, window):
+        """Windows from arbitrary chunking equal windows from one big push."""
+        total = int(np.sum(chunks))
+        stream = np.arange(total)
+        framer = WindowFramer(window)
+        out = []
+        pos = 0
+        for c in chunks:
+            out.extend(framer.push(stream[pos : pos + c]))
+            pos += c
+        expected = [
+            stream[i * window : (i + 1) * window].tolist()
+            for i in range(total // window)
+        ]
+        assert [w.tolist() for w in out] == expected

@@ -1,0 +1,120 @@
+"""Tests of the disk-backed sweep cache."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import FrontEndConfig
+from repro.core.pipeline import run_record
+from repro.experiments.cache import SweepCache, cache_from_env, config_fingerprint
+from repro.experiments.runner import ExperimentScale, sweep_compression_ratios
+from repro.recovery.pdhg import PdhgSettings
+from repro.signals.database import load_record
+
+FAST = FrontEndConfig(
+    window_len=128,
+    n_measurements=48,
+    solver=PdhgSettings(max_iter=400, tol=5e-4),
+)
+
+
+class TestFingerprint:
+    def test_stable(self):
+        assert config_fingerprint(FAST) == config_fingerprint(FAST)
+
+    def test_sensitive_to_every_knob(self):
+        base = config_fingerprint(FAST)
+        assert config_fingerprint(FAST.with_measurements(32)) != base
+        assert config_fingerprint(FAST.with_lowres_bits(5)) != base
+        slower = FrontEndConfig(
+            window_len=128,
+            n_measurements=48,
+            solver=PdhgSettings(max_iter=500, tol=5e-4),
+        )
+        assert config_fingerprint(slower) != base
+
+
+class TestSweepCache:
+    def _outcome(self):
+        rec = load_record("100", duration_s=5.0)
+        return run_record(rec, FAST, max_windows=1)
+
+    def test_miss_then_hit(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        calls = []
+
+        def runner():
+            calls.append(1)
+            return self._outcome()
+
+        first = cache.get_or_run("100", 5.0, FAST, "hybrid", 1, runner)
+        second = cache.get_or_run("100", 5.0, FAST, "hybrid", 1, runner)
+        assert len(calls) == 1
+        assert cache.hits == 1 and cache.misses == 1
+        assert second.mean_snr_db == pytest.approx(first.mean_snr_db)
+        assert second.windows[0].budget.total_bits == first.windows[0].budget.total_bits
+
+    def test_roundtrip_preserves_all_fields(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        original = self._outcome()
+        cached = cache.get_or_run("100", 5.0, FAST, "hybrid", 1, lambda: original)
+        reloaded = cache.get_or_run("100", 5.0, FAST, "hybrid", 1, lambda: 1 / 0)
+        for a, b in zip(original.windows, reloaded.windows):
+            assert a.prd_percent == b.prd_percent
+            assert a.snr_db == b.snr_db
+            assert a.solver_iterations == b.solver_iterations
+            assert a.budget == b.budget
+
+    def test_different_configs_do_not_collide(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.get_or_run("100", 5.0, FAST, "hybrid", 1, self._outcome)
+        calls = []
+
+        def runner():
+            calls.append(1)
+            rec = load_record("100", duration_s=5.0)
+            return run_record(rec, FAST.with_measurements(32), max_windows=1)
+
+        cache.get_or_run("100", 5.0, FAST.with_measurements(32), "hybrid", 1, runner)
+        assert calls  # second config was computed, not served from cache
+
+    def test_corrupt_file_recomputed(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.get_or_run("100", 5.0, FAST, "hybrid", 1, self._outcome)
+        for path in tmp_path.glob("*.json"):
+            path.write_text("{not json")
+        recomputed = cache.get_or_run("100", 5.0, FAST, "hybrid", 1, self._outcome)
+        assert recomputed.record_name == "100"
+
+    def test_clear(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.get_or_run("100", 5.0, FAST, "hybrid", 1, self._outcome)
+        assert cache.clear() == 1
+        assert list(tmp_path.glob("*.json")) == []
+
+
+class TestIntegration:
+    def test_cached_sweep_matches_uncached(self, tmp_path):
+        scale = ExperimentScale(record_names=("100",), duration_s=5.0, max_windows=1)
+        plain = sweep_compression_ratios(
+            FAST, cr_values=(75.0,), methods=("hybrid",), scale=scale
+        )
+        cache = SweepCache(tmp_path)
+        cached = sweep_compression_ratios(
+            FAST, cr_values=(75.0,), methods=("hybrid",), scale=scale, cache=cache
+        )
+        again = sweep_compression_ratios(
+            FAST, cr_values=(75.0,), methods=("hybrid",), scale=scale, cache=cache
+        )
+        assert cached[0].mean_snr_db == pytest.approx(plain[0].mean_snr_db)
+        assert again[0].mean_snr_db == pytest.approx(plain[0].mean_snr_db)
+        assert cache.hits >= 1
+
+    def test_cache_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert cache_from_env() is None
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        cache = cache_from_env()
+        assert cache is not None
+        assert cache.directory.exists()

@@ -1,0 +1,143 @@
+"""Tests of the experiment drivers (small instances, shape assertions)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FrontEndConfig
+from repro.experiments import (
+    ExperimentScale,
+    run_fig11,
+    run_fig2,
+    run_fig4,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_lowres_tradeoff,
+)
+from repro.experiments.fig8 import box_stats
+from repro.experiments.runner import active_scale, sweep_compression_ratios
+from repro.recovery.pdhg import PdhgSettings
+
+TINY = ExperimentScale(record_names=("100", "101"), duration_s=8.0, max_windows=1)
+
+FAST_CONFIG = FrontEndConfig(
+    window_len=128,
+    n_measurements=48,
+    solver=PdhgSettings(max_iter=500, tol=5e-4),
+)
+
+
+class TestFig2:
+    def test_bounds_contain_original(self):
+        data = run_fig2()
+        assert data.bounds_contain_original()
+
+    def test_band_width_is_step(self):
+        data = run_fig2(lowres_bits=7)
+        assert data.bound_width_adu == 16.0
+
+    def test_lowres_is_coarse(self):
+        data = run_fig2()
+        assert len(np.unique(data.lowres_adu)) < len(np.unique(data.original_adu))
+
+    def test_window_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            run_fig2(window_start_s=100.0, duration_s=10.0)
+
+
+class TestFig4:
+    def test_zero_mass_monotone(self):
+        data = run_fig4(scale=TINY)
+        assert data.is_monotone_in_resolution()
+
+    def test_pdfs_normalized_within_support(self):
+        data = run_fig4(scale=TINY)
+        for bits, (support, probs) in data.pdfs.items():
+            assert probs.sum() <= 1.0 + 1e-9
+            assert probs.sum() > 0.5  # most mass inside ±15
+
+
+class TestLowresTradeoff:
+    def test_monotonicity_properties(self):
+        data = run_lowres_tradeoff(resolutions=(4, 6, 8), scale=TINY)
+        assert data.overhead_is_monotone()
+        assert data.storage_is_monotone()
+
+    def test_row_lookup(self):
+        data = run_lowres_tradeoff(resolutions=(4, 6), scale=TINY)
+        assert data.row(6).resolution_bits == 6
+        with pytest.raises(KeyError):
+            data.row(9)
+
+    def test_bits_per_sample_below_raw(self):
+        data = run_lowres_tradeoff(resolutions=(7,), scale=TINY)
+        assert data.row(7).bits_per_sample < 7.0
+
+
+class TestFig7AndFig8:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return sweep_compression_ratios(
+            FAST_CONFIG, cr_values=(60.0, 90.0), scale=TINY
+        )
+
+    def test_fig7_shape(self, sweep):
+        from repro.experiments.fig7 import Fig7Data, _series
+
+        data = Fig7Data(
+            hybrid=_series(sweep, "hybrid"),
+            normal=_series(sweep, "normal"),
+            points=tuple(sweep),
+        )
+        assert data.hybrid_dominates()
+        assert len(data.hybrid.cr_percent) == 2
+
+    def test_fig8_reuses_sweep(self, sweep):
+        data = run_fig8(points=sweep)
+        assert len(data.hybrid) == 2
+        assert len(data.normal) == 2
+        for stats in data.hybrid + data.normal:
+            assert stats.whisker_low <= stats.q25 <= stats.median
+            assert stats.median <= stats.q75 <= stats.whisker_high
+
+    def test_box_stats_outliers(self):
+        values = [10.0] * 10 + [100.0]
+        stats = box_stats(values, 50.0, "hybrid")
+        assert 100.0 in stats.outliers
+        assert stats.whisker_high == 10.0
+
+
+class TestFig9:
+    def test_panels_and_monotonicity(self):
+        data = run_fig9(
+            config=FAST_CONFIG, deltas=(0.12, 0.25), duration_s=8.0
+        )
+        assert len(data.panels) == 2
+        assert data.panels[0].delta < data.panels[1].delta
+        assert data.snr_improves_with_delta()
+        for p in data.panels:
+            assert p.original_mv.shape == p.reconstructed_mv.shape
+
+    def test_bad_window_index(self):
+        with pytest.raises(ValueError):
+            run_fig9(config=FAST_CONFIG, window_index=999, duration_s=8.0)
+
+
+class TestFig11:
+    def test_paper_claims(self):
+        data = run_fig11()
+        assert data.amplifier_dominates()
+        assert data.power_scales_linearly()
+        assert data.gain_at(360.0) == pytest.approx(2.5, rel=0.05)
+        assert data.lowres_fraction_at_360hz < 1e-3
+
+
+class TestScaleSelection:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        assert len(active_scale().record_names) == 48
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "small")
+        assert len(active_scale().record_names) == 8
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "huge")
+        with pytest.raises(ValueError):
+            active_scale()

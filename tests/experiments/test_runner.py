@@ -1,0 +1,85 @@
+"""Tests of the sweep runner's aggregation types."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import RecordOutcome, WindowOutcome
+from repro.experiments.runner import (
+    CrSweepPoint,
+    ExperimentScale,
+    FULL_SCALE,
+    PAPER_CR_VALUES,
+    SMALL_SCALE,
+)
+from repro.metrics.compression import CompressionBudget
+
+
+def _outcome(name: str, prds):
+    windows = tuple(
+        WindowOutcome(
+            window_index=i,
+            prd_percent=p,
+            snr_db=-20 * np.log10(0.01 * p),
+            budget=CompressionBudget(512, 6144, 1152, 400, 96),
+            solver_iterations=100,
+            solver_converged=True,
+        )
+        for i, p in enumerate(prds)
+    )
+    return RecordOutcome(record_name=name, method="hybrid", windows=windows)
+
+
+class TestPaperCrAxis:
+    def test_matches_fig7_axis(self):
+        assert PAPER_CR_VALUES == (50.0, 56.0, 62.0, 69.0, 75.0, 81.0, 88.0, 94.0, 97.0)
+
+
+class TestScales:
+    def test_small_is_subset_of_full(self):
+        assert set(SMALL_SCALE.record_names) <= set(FULL_SCALE.record_names)
+        assert len(FULL_SCALE.record_names) == 48
+
+    def test_records_loader(self):
+        scale = ExperimentScale(record_names=("100",), duration_s=2.0, max_windows=1)
+        records = scale.records()
+        assert len(records) == 1
+        assert records[0].duration_s == pytest.approx(2.0)
+
+
+class TestCrSweepPoint:
+    def _point(self):
+        return CrSweepPoint(
+            cr_percent=81.0,
+            method="hybrid",
+            n_measurements=96,
+            outcomes=(
+                _outcome("100", [5.0, 10.0]),
+                _outcome("101", [20.0]),
+            ),
+        )
+
+    def test_mean_snr_is_grand_mean_of_record_means(self):
+        point = self._point()
+        # record 100: mean of 26.02 and 20 dB = 23.01; record 101: 13.98.
+        expected = np.mean([
+            np.mean([-20 * np.log10(0.05), -20 * np.log10(0.10)]),
+            -20 * np.log10(0.20),
+        ])
+        assert point.mean_snr_db == pytest.approx(expected, abs=0.01)
+
+    def test_mean_prd(self):
+        point = self._point()
+        assert point.mean_prd_percent == pytest.approx(
+            np.mean([7.5, 20.0])
+        )
+
+    def test_per_record_snrs(self):
+        point = self._point()
+        snrs = point.per_record_snrs
+        assert set(snrs) == {"100", "101"}
+        assert snrs["100"] > snrs["101"]
+
+    def test_net_cr(self):
+        point = self._point()
+        budget = CompressionBudget(512, 6144, 1152, 400, 96)
+        assert point.net_cr_percent == pytest.approx(budget.net_cr_percent)

@@ -1,0 +1,123 @@
+"""Cross-module invariants the paper's argument rests on.
+
+Each test here ties at least two subsystems together and asserts a
+property the DATE-2015 narrative depends on — the kind of invariant that
+a local unit test cannot see break.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FrontEndConfig
+from repro.core.frontend import HybridFrontEnd, NormalCsFrontEnd
+from repro.core.pipeline import default_codebook, run_record
+from repro.core.receiver import HybridReceiver
+from repro.metrics.compression import lowres_overhead
+from repro.metrics.quality import snr_db
+from repro.recovery.pdhg import PdhgSettings
+from repro.sensing.quantizers import requantize_codes
+from repro.signals.database import load_record
+
+FAST = PdhgSettings(max_iter=900, tol=3e-4)
+
+
+class TestMeasurementQualityMonotonicity:
+    def test_more_measurements_never_hurt_much(self, codebook_7bit, record_100):
+        """SNR(m) is (noisily) increasing for the hybrid design — the
+        premise behind trading m for power."""
+        window = next(record_100.windows(256))
+        ref = window.astype(float) - 1024
+        snrs = []
+        for m in (16, 32, 64, 128):
+            config = FrontEndConfig(
+                window_len=256, n_measurements=m, solver=FAST
+            )
+            fe = HybridFrontEnd(config, codebook_7bit)
+            rx = HybridReceiver(config, codebook_7bit)
+            recon = rx.reconstruct(fe.process_window(window))
+            snrs.append(snr_db(ref, recon.x_centered(1024)))
+        for a, b in zip(snrs[:-1], snrs[1:]):
+            assert b >= a - 1.5  # allow solver noise, forbid collapses
+
+
+class TestOverheadConsistency:
+    def test_measured_overhead_matches_eq2(self, record_100):
+        """The packet-level bit accounting and Eq. 2 must agree: overhead
+        computed from transmitted payloads equals CR_i * i / 12."""
+        config = FrontEndConfig(window_len=256, n_measurements=64, solver=FAST)
+        codebook = default_codebook(config.lowres_bits)
+        fe = HybridFrontEnd(config, codebook)
+        packets = fe.process_record(record_100, max_windows=4)
+
+        payload_bits = sum(p.lowres_bit_length for p in packets)
+        n_samples = sum(p.n for p in packets)
+        fraction = payload_bits / (n_samples * config.lowres_bits)
+        eq2 = lowres_overhead(fraction, config.lowres_bits)
+        measured = payload_bits / (n_samples * 12) * 100
+        assert measured == pytest.approx(eq2, rel=1e-9)
+
+
+class TestLosslessSidechannel:
+    def test_lowres_path_exactly_recoverable_full_record(
+        self, codebook_7bit, record_100
+    ):
+        """Whatever recovery does, the transmitted low-res stream itself
+        is lossless — the 'rough bound of the signal' arrives intact."""
+        config = FrontEndConfig(window_len=256, n_measurements=32, solver=FAST)
+        fe = HybridFrontEnd(config, codebook_7bit)
+        rx = HybridReceiver(config, codebook_7bit)
+        for idx, window in enumerate(record_100.windows(256)):
+            if idx >= 5:
+                break
+            packet = fe.process_window(window, idx)
+            decoded = rx.decode_lowres(packet)
+            assert np.array_equal(decoded, requantize_codes(window, 11, 7))
+
+
+class TestSharedCsPath:
+    def test_frontends_identical_given_config(self, codebook_7bit, record_100):
+        """Hybrid vs normal differ *only* in the parallel channel: their
+        CS measurements are bit-identical (this is what makes the Fig. 7
+        comparison a controlled experiment)."""
+        config = FrontEndConfig(window_len=256, n_measurements=48, solver=FAST)
+        hybrid = HybridFrontEnd(config, codebook_7bit)
+        normal = NormalCsFrontEnd(config)
+        for idx, window in enumerate(record_100.windows(256)):
+            if idx >= 3:
+                break
+            ph = hybrid.process_window(window, idx)
+            pn = normal.process_window(window, idx)
+            assert np.array_equal(ph.measurement_codes, pn.measurement_codes)
+
+
+class TestRunRecordReproducibility:
+    def test_same_inputs_same_outputs_across_processes_worth(self):
+        """run_record is a pure function of (record name, config): the
+        property every cached sweep result relies on."""
+        config = FrontEndConfig(window_len=128, n_measurements=48, solver=FAST)
+        rec = load_record("117", duration_s=6.0)
+        a = run_record(rec, config, max_windows=2)
+        b = run_record(rec, config, max_windows=2)
+        assert [w.prd_percent for w in a.windows] == [
+            w.prd_percent for w in b.windows
+        ]
+        assert [w.budget.total_bits for w in a.windows] == [
+            w.budget.total_bits for w in b.windows
+        ]
+
+
+class TestQuantizerBoundTightness:
+    def test_box_width_halves_per_bit(self, codebook_7bit, record_100):
+        """Each extra low-res bit halves the Eq. 1 box — the geometric
+        engine of the depth/overhead trade-off."""
+        window = next(record_100.windows(256))
+        widths = {}
+        for bits in (5, 6, 7, 8):
+            from repro.sensing.quantizers import lowres_bounds
+
+            low = requantize_codes(window, 11, bits)
+            lower, upper = lowres_bounds(low, 11, bits)
+            widths[bits] = float(np.mean(upper - lower + 1))
+        assert widths[5] == pytest.approx(2 * widths[6])
+        assert widths[6] == pytest.approx(2 * widths[7])
+        assert widths[7] == pytest.approx(2 * widths[8])

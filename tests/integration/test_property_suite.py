@@ -1,0 +1,122 @@
+"""Hypothesis property suite over the full coding/sensing stack.
+
+These complement the per-module property tests with cross-module
+roundtrips on generated data: arbitrary code streams through the complete
+codebook+packet path, arbitrary windows through the quantizer bound
+guarantee, and arbitrary signals through basis/measurement adjointness.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.codebook import train_codebook
+from repro.core.packets import WindowPacket
+from repro.sensing.matrices import bernoulli_matrix
+from repro.sensing.quantizers import lowres_bounds, requantize_codes
+from repro.wavelets.operators import WaveletBasis
+
+
+@st.composite
+def code_streams(draw, max_bits=9):
+    bits = draw(st.integers(3, max_bits))
+    n = draw(st.integers(2, 300))
+    # Mix of flat stretches and jumps, like real quantized ECG.
+    base = draw(st.integers(0, (1 << bits) - 1))
+    values = [base]
+    for _ in range(n - 1):
+        step = draw(
+            st.one_of(
+                st.just(0), st.just(0), st.just(0),  # bias to runs
+                st.integers(-3, 3),
+                st.integers(-(1 << (bits - 1)), (1 << (bits - 1))),
+            )
+        )
+        values.append(int(np.clip(values[-1] + step, 0, (1 << bits) - 1)))
+    return bits, np.asarray(values, dtype=np.int64)
+
+
+class TestCodebookPacketRoundtrip:
+    @settings(max_examples=40, deadline=None)
+    @given(stream=code_streams())
+    def test_full_path_lossless(self, stream):
+        """codes -> codebook -> packet bytes -> parse -> decode == codes,
+        for arbitrary streams on codebooks trained on *different* data."""
+        bits, codes = stream
+        trainer = np.asarray(
+            [5, 5, 6, 6, 7, 7, 6, 5] * 4, dtype=np.int64
+        ) % (1 << bits)
+        book = train_codebook([trainer], bits)
+        payload, bit_len = book.encode_window(codes)
+        packet = WindowPacket(
+            window_index=0,
+            n=codes.size,
+            measurement_codes=np.zeros(1, dtype=np.int64),
+            measurement_bits=12,
+            lowres_payload=payload,
+            lowres_bit_length=bit_len,
+        )
+        parsed = WindowPacket.from_bytes(packet.to_bytes(), 12)
+        decoded = book.decode_window(
+            parsed.lowres_payload, codes.size, parsed.lowres_bit_length
+        )
+        assert np.array_equal(decoded, codes)
+
+
+class TestBoundGuarantee:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31),
+        acq_bits=st.integers(4, 12),
+        data=st.data(),
+    )
+    def test_requantize_bounds_any_depth(self, seed, acq_bits, data):
+        low_bits = data.draw(st.integers(1, acq_bits))
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 1 << acq_bits, size=64)
+        low = requantize_codes(codes, acq_bits, low_bits)
+        lower, upper = lowres_bounds(low, acq_bits, low_bits)
+        assert np.all(lower <= codes)
+        assert np.all(codes <= upper)
+        assert np.all(upper - lower + 1 == 1 << (acq_bits - low_bits))
+
+
+class TestLinearAlgebraContracts:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_measurement_adjoint(self, seed):
+        """<Φx, y> == <x, Φᵀy> — what PDHG's convergence proof needs."""
+        rng = np.random.default_rng(seed)
+        phi = bernoulli_matrix(24, 64, seed=seed)
+        x = rng.standard_normal(64)
+        y = rng.standard_normal(24)
+        assert float(np.dot(phi @ x, y)) == pytest.approx(
+            float(np.dot(x, phi.T @ y)), abs=1e-9
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31),
+        name=st.sampled_from(["haar", "db3", "db6", "sym4"]),
+    )
+    def test_basis_parseval(self, seed, name):
+        basis = WaveletBasis(64, name)
+        x = np.random.default_rng(seed).standard_normal(64)
+        alpha = basis.analyze(x)
+        assert float(np.dot(alpha, alpha)) == pytest.approx(
+            float(np.dot(x, x)), rel=1e-9
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_composed_operator_consistency(self, seed):
+        """CsProblem's cached dense A equals Φ ∘ synthesize pointwise."""
+        from repro.recovery.problem import CsProblem
+
+        basis = WaveletBasis(64, "db4")
+        phi = bernoulli_matrix(16, 64, seed=seed)
+        prob = CsProblem(phi, basis)
+        alpha = np.random.default_rng(seed).standard_normal(64)
+        assert np.allclose(
+            prob.forward(alpha), phi @ basis.synthesize(alpha), atol=1e-9
+        )

@@ -1,0 +1,114 @@
+"""Unit tests for compression-ratio accounting (paper Eqs. 2-3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.compression import (
+    CompressionBudget,
+    compressed_fraction,
+    compression_ratio_from_counts,
+    cr_from_delta,
+    cs_channel_cr,
+    delta_from_cr,
+    lowres_overhead,
+    measurements_for_cr,
+    net_compression_ratio,
+)
+
+
+class TestEq3:
+    def test_half_size_is_50_percent(self):
+        assert compression_ratio_from_counts(1000, 500) == pytest.approx(50.0)
+
+    def test_no_compression_is_zero(self):
+        assert compression_ratio_from_counts(100, 100) == pytest.approx(0.0)
+
+    def test_expansion_is_negative(self):
+        assert compression_ratio_from_counts(100, 150) < 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            compression_ratio_from_counts(0, 10)
+        with pytest.raises(ValueError):
+            compression_ratio_from_counts(10, -1)
+
+
+class TestCsChannelCr:
+    def test_paper_axis_points(self):
+        # m/n pairs behind the Fig. 7 axis: 50% CR = half the measurements.
+        assert cs_channel_cr(512, 256) == pytest.approx(50.0)
+        assert cs_channel_cr(512, 96) == pytest.approx(81.25)
+
+    def test_roundtrip_with_measurements_for_cr(self):
+        for cr in (50.0, 62.0, 81.0, 94.0, 97.0):
+            m = measurements_for_cr(512, cr)
+            assert cs_channel_cr(512, m) == pytest.approx(cr, abs=0.1)
+
+    @given(st.integers(min_value=1, max_value=2048))
+    def test_zero_measurements_is_full_compression(self, n):
+        assert cs_channel_cr(n, 0) == pytest.approx(100.0)
+
+    def test_out_of_range_m_rejected(self):
+        with pytest.raises(ValueError):
+            cs_channel_cr(100, 101)
+
+    def test_delta_conversions(self):
+        assert delta_from_cr(75.0) == pytest.approx(0.25)
+        assert cr_from_delta(0.06) == pytest.approx(94.0)
+        with pytest.raises(ValueError):
+            cr_from_delta(1.5)
+
+
+class TestEq2Overhead:
+    def test_paper_7bit_operating_point(self):
+        # Paper: CR_7 such that D_7 = 7.8%; inverting Eq. 2 gives the
+        # compressed fraction the paper's coder achieved.
+        implied_fraction = 7.8 / 100.0 * 12 / 7
+        assert lowres_overhead(implied_fraction, 7) == pytest.approx(7.8)
+
+    def test_scales_linearly_with_resolution(self):
+        assert lowres_overhead(0.5, 6) == pytest.approx(
+            lowres_overhead(0.5, 3) * 2.0
+        )
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            lowres_overhead(1.5, 7)
+        with pytest.raises(ValueError):
+            lowres_overhead(0.5, 0)
+
+    def test_compressed_fraction_basic(self):
+        assert compressed_fraction(100, 25) == pytest.approx(0.25)
+
+    def test_net_cr_paper_value(self):
+        # Section V: 81% CS CR minus 7.86% overhead = 73.14% net.
+        assert net_compression_ratio(81.0, 7.86) == pytest.approx(73.14)
+
+
+class TestCompressionBudget:
+    def _budget(self):
+        return CompressionBudget(
+            n_samples=512,
+            original_bits=512 * 12,
+            cs_bits=96 * 12,
+            lowres_bits=480,
+            header_bits=96,
+        )
+
+    def test_total_bits(self):
+        b = self._budget()
+        assert b.total_bits == 96 * 12 + 480 + 96
+
+    def test_cs_cr_matches_eq3(self):
+        b = self._budget()
+        assert b.cs_cr_percent == pytest.approx(
+            compression_ratio_from_counts(512 * 12, 96 * 12)
+        )
+
+    def test_net_cr_below_cs_cr(self):
+        b = self._budget()
+        assert b.net_cr_percent < b.cs_cr_percent
+
+    def test_lowres_overhead_percent(self):
+        b = self._budget()
+        assert b.lowres_overhead_percent == pytest.approx(480 / (512 * 12) * 100)

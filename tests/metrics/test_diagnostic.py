@@ -1,0 +1,97 @@
+"""Tests of the diagnostic-quality (beat-matching) metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.diagnostic import (
+    BeatMatchResult,
+    beat_detection_score,
+    match_beats,
+    reconstruction_fidelity,
+)
+from repro.signals.database import load_record
+
+
+class TestMatchBeats:
+    def test_perfect_match(self):
+        r = match_beats([100, 500, 900], [102, 498, 905], fs_hz=360.0)
+        assert r.true_positives == 3
+        assert r.sensitivity == 1.0
+        assert r.positive_predictivity == 1.0
+        assert r.f1 == 1.0
+
+    def test_missed_beat(self):
+        r = match_beats([100, 500, 900], [102, 905], fs_hz=360.0)
+        assert r.false_negatives == 1
+        assert r.sensitivity == pytest.approx(2 / 3)
+
+    def test_false_alarm(self):
+        r = match_beats([100, 500], [102, 498, 300], fs_hz=360.0)
+        assert r.false_positives == 1
+        assert r.positive_predictivity == pytest.approx(2 / 3)
+
+    def test_tolerance_respected(self):
+        # 150 ms at 360 Hz = 54 samples; 60 samples away is a miss.
+        r = match_beats([100], [160], fs_hz=360.0)
+        assert r.true_positives == 0
+        r2 = match_beats([100], [150], fs_hz=360.0)
+        assert r2.true_positives == 1
+
+    def test_one_to_one_matching(self):
+        """Two detections near one reference: only one may match."""
+        r = match_beats([100], [95, 105], fs_hz=360.0)
+        assert r.true_positives == 1
+        assert r.false_positives == 1
+
+    def test_empty_sets(self):
+        r = match_beats([], [], fs_hz=360.0)
+        assert r.sensitivity == 1.0
+        assert r.positive_predictivity == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            match_beats([1], [1], fs_hz=0.0)
+
+
+class TestF1:
+    def test_zero_case(self):
+        r = BeatMatchResult(0, 5, 5)
+        assert r.f1 == 0.0
+
+    def test_balanced(self):
+        r = BeatMatchResult(8, 2, 2)
+        assert r.f1 == pytest.approx(0.8)
+
+
+class TestOnWaveforms:
+    def test_score_on_clean_record(self):
+        rec = load_record("100", duration_s=20.0, clean=True)
+        score = beat_detection_score(
+            rec.signal_mv(), rec.beat_samples(), rec.header.fs_hz
+        )
+        assert score.f1 > 0.95
+
+    def test_identity_reconstruction_perfect(self):
+        rec = load_record("103", duration_s=20.0)
+        x = rec.signal_mv()
+        r = reconstruction_fidelity(x, x.copy(), rec.header.fs_hz)
+        assert r.f1 == 1.0
+
+    def test_flatline_reconstruction_scores_zero(self):
+        rec = load_record("103", duration_s=20.0)
+        x = rec.signal_mv()
+        r = reconstruction_fidelity(x, np.zeros_like(x), rec.header.fs_hz)
+        assert r.sensitivity == 0.0
+
+    def test_noise_reconstruction_degrades_f1(self):
+        """Pure noise gets at best chance-level agreement."""
+        rec = load_record("103", duration_s=20.0)
+        x = rec.signal_mv()
+        rng = np.random.default_rng(0)
+        garbage = 0.02 * rng.standard_normal(x.size)
+        r = reconstruction_fidelity(x, garbage, rec.header.fs_hz)
+        assert r.f1 < 0.9
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            reconstruction_fidelity(np.ones(10), np.ones(9), 360.0)

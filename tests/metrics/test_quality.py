@@ -1,0 +1,110 @@
+"""Unit tests for the PRD/SNR quality metrics (paper Section IV)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.quality import (
+    GOOD_PRD_THRESHOLD,
+    mean_snr_over_windows,
+    nmse,
+    prd,
+    prd_to_snr,
+    quality_grade,
+    rmse,
+    snr_db,
+    snr_to_prd,
+)
+
+
+class TestPrd:
+    def test_perfect_reconstruction_is_zero(self):
+        x = np.array([1.0, -2.0, 3.0])
+        assert prd(x, x) == 0.0
+
+    def test_matches_paper_formula(self, rng):
+        x = rng.standard_normal(100)
+        xr = x + 0.1 * rng.standard_normal(100)
+        expected = np.linalg.norm(x - xr) / np.linalg.norm(x) * 100.0
+        assert prd(x, xr) == pytest.approx(expected)
+
+    def test_zero_reconstruction_gives_100(self, rng):
+        x = rng.standard_normal(50)
+        assert prd(x, np.zeros(50)) == pytest.approx(100.0)
+
+    def test_scale_invariant(self, rng):
+        x = rng.standard_normal(64)
+        xr = x + rng.standard_normal(64)
+        assert prd(3.7 * x, 3.7 * xr) == pytest.approx(prd(x, xr))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            prd([1.0, 2.0], [1.0])
+
+    def test_zero_reference_raises(self):
+        with pytest.raises(ValueError, match="all-zero"):
+            prd(np.zeros(4), np.ones(4))
+
+    def test_accepts_lists(self):
+        assert prd([1.0, 0.0], [1.0, 0.0]) == 0.0
+
+
+class TestSnrConversions:
+    def test_paper_example_values(self):
+        # PRD = 1% -> 40 dB; PRD = 100% -> 0 dB (by the definition).
+        assert prd_to_snr(1.0) == pytest.approx(40.0)
+        assert prd_to_snr(100.0) == pytest.approx(0.0)
+
+    def test_roundtrip(self):
+        for p in (0.5, 2.0, 9.0, 50.0, 130.0):
+            assert snr_to_prd(prd_to_snr(p)) == pytest.approx(p)
+
+    @given(st.floats(min_value=1e-3, max_value=1e3))
+    def test_roundtrip_property(self, p):
+        assert snr_to_prd(prd_to_snr(p)) == pytest.approx(p, rel=1e-9)
+
+    def test_nonpositive_prd_rejected(self):
+        with pytest.raises(ValueError):
+            prd_to_snr(0.0)
+
+    def test_snr_db_consistency(self, rng):
+        x = rng.standard_normal(80)
+        xr = x + 0.05 * rng.standard_normal(80)
+        assert snr_db(x, xr) == pytest.approx(prd_to_snr(prd(x, xr)))
+
+    def test_snr_db_perfect_is_inf(self):
+        x = np.ones(8)
+        assert snr_db(x, x) == float("inf")
+
+
+class TestAuxMetrics:
+    def test_rmse_known_value(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_nmse_is_squared_prd_fraction(self, rng):
+        x = rng.standard_normal(32)
+        xr = x + 0.3 * rng.standard_normal(32)
+        assert nmse(x, xr) == pytest.approx((prd(x, xr) / 100.0) ** 2)
+
+    def test_quality_grades(self):
+        assert quality_grade(1.0) == "very good"
+        assert quality_grade(5.0) == "good"
+        assert quality_grade(GOOD_PRD_THRESHOLD) == "not good"
+        with pytest.raises(ValueError):
+            quality_grade(-1.0)
+
+
+class TestMeanSnr:
+    def test_single_value(self):
+        assert mean_snr_over_windows([10.0]) == pytest.approx(20.0)
+
+    def test_average_in_db_domain(self):
+        # PRDs of 10% and 1% -> 20 dB and 40 dB -> mean 30 dB.
+        assert mean_snr_over_windows([10.0, 1.0]) == pytest.approx(30.0)
+
+    def test_perfect_window_clipped(self):
+        assert mean_snr_over_windows([0.0]) == pytest.approx(120.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_snr_over_windows([])

@@ -1,0 +1,120 @@
+"""Tests of the architecture-level power models and comparisons (§VI)."""
+
+import numpy as np
+import pytest
+
+from repro.power.comparison import (
+    PAPER_OPERATING_POINTS,
+    measurements_for_target_snr,
+    power_gain,
+)
+from repro.power.rmpi_power import (
+    HybridArchitecture,
+    RmpiArchitecture,
+    sweep_frequencies,
+)
+
+
+class TestRmpiArchitecture:
+    def test_breakdown_blocks_positive(self):
+        arch = RmpiArchitecture(m=240)
+        b = arch.breakdown(360.0)
+        assert b.adc_w > 0 and b.integrator_w > 0 and b.amplifier_w > 0
+
+    def test_amplifier_dominant(self):
+        b = RmpiArchitecture(m=240).breakdown(360.0)
+        assert b.dominant_block() == "amplifier"
+
+    def test_power_proportional_to_m(self):
+        p240 = RmpiArchitecture(m=240).total_w(360.0)
+        p120 = RmpiArchitecture(m=120).total_w(360.0)
+        assert p240 / p120 == pytest.approx(2.0, rel=1e-9)
+
+    def test_with_channels(self):
+        arch = RmpiArchitecture(m=240)
+        assert arch.with_channels(96).m == 96
+        assert arch.with_channels(96).n == arch.n
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RmpiArchitecture(m=0)
+        with pytest.raises(ValueError):
+            RmpiArchitecture(m=600, n=512)
+        with pytest.raises(ValueError):
+            RmpiArchitecture(m=96).breakdown(0.0)
+
+
+class TestHybridArchitecture:
+    def _hybrid(self, m=96):
+        return HybridArchitecture(cs=RmpiArchitecture(m=m), lowres_bits=7)
+
+    def test_lowres_path_negligible(self):
+        """Paper §II: 'power consumption from this path should be
+        negligible compared to CS path'."""
+        assert self._hybrid().lowres_fraction(360.0) < 0.01
+
+    def test_total_includes_lowres(self):
+        h = self._hybrid()
+        cs_only = h.cs.total_w(360.0)
+        assert h.total_w(360.0) > cs_only
+
+    def test_lowres_breakdown_has_no_integrator(self):
+        b = self._hybrid().lowres_breakdown(360.0)
+        assert b.integrator_w == 0.0
+        assert b.adc_w > 0 and b.amplifier_w > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HybridArchitecture(cs=RmpiArchitecture(m=96), lowres_bits=0)
+
+
+class TestSweep:
+    def test_series_lengths(self):
+        arch = RmpiArchitecture(m=96)
+        sweep = sweep_frequencies(arch, [100.0, 1000.0, 10000.0])
+        assert len(sweep["total_w"]) == 3
+        assert sweep["fs_hz"] == [100.0, 1000.0, 10000.0]
+
+    def test_monotone_in_frequency(self):
+        arch = RmpiArchitecture(m=96)
+        sweep = sweep_frequencies(arch, np.logspace(2, 8, 10))
+        assert np.all(np.diff(sweep["total_w"]) > 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sweep_frequencies(RmpiArchitecture(m=8), [])
+
+
+class TestPowerGain:
+    def test_paper_2p5x_point(self):
+        """At m 240 vs 96 the model gives ~2.5x (amplifier-dominated)."""
+        gain = power_gain(240, 96)
+        assert gain == pytest.approx(2.5, rel=0.02)
+
+    def test_paper_11x_point(self):
+        """At m 176 vs 16 the model gives ~11x."""
+        gain = power_gain(176, 16)
+        assert gain == pytest.approx(11.0, rel=0.05)
+
+    def test_operating_points_match_their_gains(self):
+        for point in PAPER_OPERATING_POINTS:
+            assert point.gain() == pytest.approx(point.paper_gain, rel=0.06)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            power_gain(0, 96)
+
+
+class TestMeasurementSearch:
+    def test_finds_smallest_sufficient(self):
+        snr = {8: 5.0, 16: 12.0, 32: 18.0, 64: 21.0, 128: 24.0}
+        m = measurements_for_target_snr(lambda m: snr[m], 20.0, list(snr))
+        assert m == 64
+
+    def test_none_when_unreachable(self):
+        snr = {8: 5.0, 16: 6.0}
+        assert measurements_for_target_snr(lambda m: snr[m], 30.0, list(snr)) is None
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            measurements_for_target_snr(lambda m: 0.0, 10.0, [])

@@ -1,0 +1,51 @@
+"""Additional power-comparison coverage: paper operating points as data."""
+
+import pytest
+
+from repro.power.comparison import PAPER_OPERATING_POINTS, power_gain
+from repro.power.rmpi_power import HybridArchitecture, RmpiArchitecture
+
+
+class TestPaperOperatingPoints:
+    def test_two_points_recorded(self):
+        targets = {p.target_snr_db for p in PAPER_OPERATING_POINTS}
+        assert targets == {20.0, 17.0}
+
+    def test_counts_match_paper_text(self):
+        by_target = {p.target_snr_db: p for p in PAPER_OPERATING_POINTS}
+        assert (by_target[20.0].m_normal, by_target[20.0].m_hybrid) == (240, 96)
+        assert (by_target[17.0].m_normal, by_target[17.0].m_hybrid) == (176, 16)
+
+    def test_gain_independent_of_frequency(self):
+        """Every block scales linearly with fs, so the ratio is
+        frequency-free — sanity for using 360 Hz everywhere."""
+        for fs in (100.0, 360.0, 1e6):
+            assert power_gain(240, 96, fs_hz=fs) == pytest.approx(2.5, rel=0.01)
+
+    def test_gain_approaches_m_ratio_asymptotically(self):
+        """With the amplifier dominating, gain → m_normal/m_hybrid; the
+        low-res channel keeps it fractionally below."""
+        gain = power_gain(240, 96)
+        assert gain <= 240 / 96
+        assert gain == pytest.approx(240 / 96, rel=1e-3)
+
+    def test_lowres_bits_barely_matter(self):
+        """The parallel channel is so cheap that even a 10-bit version
+        leaves the gain unchanged to 4 decimals."""
+        g7 = power_gain(240, 96, lowres_bits=7)
+        g10 = power_gain(240, 96, lowres_bits=10)
+        assert g7 == pytest.approx(g10, abs=1e-3)
+
+
+class TestHybridAccounting:
+    def test_breakdown_addition_consistency(self):
+        hybrid = HybridArchitecture(cs=RmpiArchitecture(m=96))
+        total = hybrid.breakdown(360.0)
+        cs = hybrid.cs.breakdown(360.0)
+        lowres = hybrid.lowres_breakdown(360.0)
+        assert total.total_w == pytest.approx(cs.total_w + lowres.total_w)
+
+    def test_lowres_fraction_grows_with_bits(self):
+        low = HybridArchitecture(cs=RmpiArchitecture(m=96), lowres_bits=4)
+        high = HybridArchitecture(cs=RmpiArchitecture(m=96), lowres_bits=10)
+        assert high.lowres_fraction(360.0) > low.lowres_fraction(360.0)

@@ -1,0 +1,94 @@
+"""Tests of the node energy model."""
+
+import numpy as np
+import pytest
+
+from repro.core.packets import WindowPacket
+from repro.power.energy import EnergyReport, NodeEnergyModel, RadioModel
+from repro.power.rmpi_power import HybridArchitecture, RmpiArchitecture
+
+
+def _packet(bits_payload=400, m=96, n=512):
+    codes = np.zeros(m, dtype=np.int64)
+    payload = bytes((bits_payload + 7) // 8)
+    return WindowPacket(
+        window_index=0,
+        n=n,
+        measurement_codes=codes,
+        measurement_bits=12,
+        lowres_payload=payload,
+        lowres_bit_length=bits_payload,
+    )
+
+
+class TestRadioModel:
+    def test_energy_linear_in_bits(self):
+        radio = RadioModel(j_per_bit=5e-9)
+        assert radio.window_energy_j(2000, 1.0) == pytest.approx(1e-5)
+        assert radio.window_energy_j(4000, 1.0) == pytest.approx(2e-5)
+
+    def test_idle_power_counted(self):
+        radio = RadioModel(j_per_bit=5e-9, idle_w=1e-6)
+        assert radio.window_energy_j(0, 2.0) == pytest.approx(2e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RadioModel(j_per_bit=0.0)
+        radio = RadioModel()
+        with pytest.raises(ValueError):
+            radio.window_energy_j(-1, 1.0)
+        with pytest.raises(ValueError):
+            radio.window_energy_j(10, 0.0)
+
+
+class TestNodeEnergyModel:
+    def _model(self, m=96):
+        arch = HybridArchitecture(cs=RmpiArchitecture(m=m, n=512))
+        return NodeEnergyModel(arch, fs_hz=360.0)
+
+    def test_window_report_components(self):
+        model = self._model()
+        report = model.window_report(_packet())
+        window_s = 512 / 360.0
+        assert report.duration_s == pytest.approx(window_s)
+        assert report.frontend_j == pytest.approx(
+            model.frontend_power_w() * window_s
+        )
+        assert report.radio_j > 0
+        assert report.total_j == report.frontend_j + report.radio_j
+
+    def test_fewer_channels_less_energy(self):
+        few = self._model(m=16).window_report(_packet(m=16))
+        many = self._model(m=240).window_report(_packet(m=240))
+        assert few.total_j < many.total_j
+
+    def test_stream_aggregation(self):
+        model = self._model()
+        single = model.window_report(_packet())
+        triple = model.stream_report([_packet()] * 3)
+        assert triple.total_j == pytest.approx(3 * single.total_j)
+        assert triple.duration_s == pytest.approx(3 * single.duration_s)
+
+    def test_compression_saves_radio_energy(self):
+        """The compressed hybrid stream must beat raw streaming on the
+        radio side (the whole point of on-node compression)."""
+        model = self._model()
+        hybrid = model.window_report(_packet())
+        raw = model.uncompressed_baseline(512)
+        assert hybrid.radio_j < raw.radio_j
+
+    def test_battery_days_scale(self):
+        report = EnergyReport(frontend_j=1.0, radio_j=1.0, duration_s=1.0)
+        days = report.battery_days(capacity_mah=225.0, voltage_v=3.0)
+        # 2 W average on a 2430 J battery: ~1215 s = 0.014 days.
+        assert days == pytest.approx(2430.0 / 2.0 / 86400.0)
+        with pytest.raises(ValueError):
+            report.battery_days(0.0)
+
+    def test_validation(self):
+        with pytest.raises(TypeError):
+            NodeEnergyModel(object())
+        with pytest.raises(ValueError):
+            NodeEnergyModel(RmpiArchitecture(m=8), fs_hz=0.0)
+        with pytest.raises(ValueError):
+            self._model().stream_report([])

@@ -1,0 +1,131 @@
+"""Tests of the block-level power models (paper Eqs. 4-9)."""
+
+import numpy as np
+import pytest
+
+from repro.power.models import (
+    PowerBreakdown,
+    adc_power,
+    amplifier_power,
+    integrator_power,
+    noise_efficiency_factor,
+    thermal_voltage,
+)
+
+
+class TestThermalVoltage:
+    def test_room_temperature(self):
+        assert thermal_voltage(300.0) == pytest.approx(0.02585, rel=1e-3)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            thermal_voltage(0.0)
+
+
+class TestAdcPower:
+    def test_eq4_literal(self):
+        # P = (m/n) * FOM * 2^B * fs
+        p = adc_power(96, 512, 360.0, 12, fom_j_per_conv=100e-15)
+        expected = (96 / 512) * 100e-15 * 4096 * 360.0
+        assert p == pytest.approx(expected)
+
+    def test_linear_in_m_and_fs(self):
+        base = adc_power(10, 512, 360.0, 12)
+        assert adc_power(20, 512, 360.0, 12) == pytest.approx(2 * base)
+        assert adc_power(10, 512, 720.0, 12) == pytest.approx(2 * base)
+
+    def test_exponential_in_bits(self):
+        assert adc_power(1, 1, 360.0, 13) == pytest.approx(
+            2 * adc_power(1, 1, 360.0, 12)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adc_power(0, 512, 360.0, 12)
+        with pytest.raises(ValueError):
+            adc_power(1, 1, 360.0, 0)
+
+
+class TestIntegratorPower:
+    def test_eq5_literal(self):
+        p = integrator_power(240, 512, 180.0, vdd_v=1.0, pole_capacitance_f=1e-12)
+        expected = 2 * 180.0 * 240 * 1.0 * 10 * np.pi * 512 * 1e-12 / 16
+        assert p == pytest.approx(expected)
+
+    def test_linear_in_bandwidth(self):
+        assert integrator_power(10, 512, 400.0) == pytest.approx(
+            2 * integrator_power(10, 512, 200.0)
+        )
+
+    def test_quadratic_in_vdd(self):
+        assert integrator_power(10, 512, 180.0, vdd_v=2.0) == pytest.approx(
+            4 * integrator_power(10, 512, 180.0, vdd_v=1.0)
+        )
+
+
+class TestAmplifierPower:
+    def test_linear_in_m(self):
+        base = amplifier_power(96, 512, 180.0, 12)
+        assert amplifier_power(192, 512, 180.0, 12) == pytest.approx(2 * base)
+
+    def test_gain_dependence(self):
+        # +6 dB of gain -> 4x power (G_A^2 term).
+        low = amplifier_power(96, 512, 180.0, 12, gain_db=40.0)
+        high = amplifier_power(96, 512, 180.0, 12, gain_db=46.0)
+        assert high / low == pytest.approx((10 ** (6 / 20)) ** 2, rel=0.01)
+
+    def test_resolution_dependence(self):
+        # One more measurement bit -> 4x noise requirement -> 4x power.
+        b12 = amplifier_power(96, 512, 180.0, 12)
+        b13 = amplifier_power(96, 512, 180.0, 13)
+        assert b13 == pytest.approx(4 * b12)
+
+    def test_nef_range_enforced(self):
+        with pytest.raises(ValueError):
+            amplifier_power(96, 512, 180.0, 12, nef=0.5)
+
+    def test_dominates_other_blocks_at_paper_settings(self):
+        """The Section VI observation: the amplifier dwarfs ADC+integrator."""
+        m, n, fs = 240, 512, 360.0
+        amp = amplifier_power(m, n, fs / 2, 12)
+        adc = adc_power(m, n, fs, 12)
+        integ = integrator_power(m, n, fs / 2)
+        assert amp > 10 * (adc + integ)
+
+
+class TestNef:
+    def test_eq6_roundtrip(self):
+        """Invert Eq. 6: given a NEF, the implied current reproduces it."""
+        vni, bw = 2e-6, 180.0
+        nef_target = 2.5
+        vt = thermal_voltage()
+        kt = 1.380649e-23 * 300.0
+        current = nef_target**2 * np.pi * vt * 4 * kt * bw / (2 * vni**2)
+        assert noise_efficiency_factor(vni, current, bw) == pytest.approx(
+            nef_target, rel=1e-9
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            noise_efficiency_factor(0.0, 1e-6, 180.0)
+
+
+class TestPowerBreakdown:
+    def test_total_and_dominant(self):
+        b = PowerBreakdown(adc_w=1.0, integrator_w=2.0, amplifier_w=10.0)
+        assert b.total_w == 13.0
+        assert b.dominant_block() == "amplifier"
+
+    def test_microwatt_keys_match_paper_legend(self):
+        b = PowerBreakdown(1e-6, 2e-6, 3e-6)
+        uw = b.as_microwatts()
+        assert set(uw) == {"P[adc]", "P[Int]", "P[amp]", "P[Total]"}
+        assert uw["P[Total]"] == pytest.approx(6.0)
+
+    def test_add_and_scale(self):
+        a = PowerBreakdown(1.0, 1.0, 1.0)
+        b = PowerBreakdown(2.0, 2.0, 2.0)
+        assert (a + b).total_w == pytest.approx(9.0)
+        assert a.scaled(0.5).total_w == pytest.approx(1.5)
+        with pytest.raises(ValueError):
+            a.scaled(-1.0)

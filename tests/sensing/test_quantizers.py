@@ -1,0 +1,130 @@
+"""Tests of ADC quantizer models, incl. the Eq. 1 bound guarantee."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sensing.quantizers import (
+    UniformQuantizer,
+    dequantize_codes,
+    lowres_bounds,
+    measurement_quantizer,
+    requantize_codes,
+)
+from repro.sensing.matrices import bernoulli_matrix
+
+
+class TestRequantize:
+    def test_keeps_msbs(self):
+        codes = np.array([0, 15, 16, 255, 2047], dtype=np.int64)
+        low = requantize_codes(codes, 11, 7)
+        assert list(low) == [0, 0, 1, 15, 127]
+
+    def test_identity_when_same_bits(self):
+        codes = np.arange(0, 2048, 97, dtype=np.int64)
+        assert np.array_equal(requantize_codes(codes, 11, 11), codes)
+
+    def test_upsampling_rejected(self):
+        with pytest.raises(ValueError):
+            requantize_codes(np.array([0]), 7, 11)
+
+    def test_float_codes_rejected(self):
+        with pytest.raises(TypeError):
+            requantize_codes(np.array([0.5]), 11, 7)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            requantize_codes(np.array([2048], dtype=np.int64), 11, 7)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        value=st.integers(0, 2047),
+        to_bits=st.integers(1, 11),
+    )
+    def test_bound_guarantee_property(self, value, to_bits):
+        """The defining Eq. 1 property: the original code always lies in
+        [lower, lower + d - 1] of its own low-res cell."""
+        codes = np.array([value], dtype=np.int64)
+        low = requantize_codes(codes, 11, to_bits)
+        lower, upper = lowres_bounds(low, 11, to_bits)
+        assert lower[0] <= value <= upper[0]
+        assert upper[0] - lower[0] + 1 == 2 ** (11 - to_bits)
+
+
+class TestDequantize:
+    def test_lower_cell_edge(self):
+        low = np.array([0, 1, 127], dtype=np.int64)
+        back = dequantize_codes(low, 11, 7)
+        assert list(back) == [0, 16, 2032]
+
+    def test_roundtrip_is_floor(self):
+        codes = np.arange(0, 2048, 13, dtype=np.int64)
+        low = requantize_codes(codes, 11, 7)
+        back = dequantize_codes(low, 11, 7)
+        assert np.all(back <= codes)
+        assert np.all(codes - back < 16)
+
+
+class TestUniformQuantizer:
+    def test_levels_and_step(self):
+        q = UniformQuantizer(bits=8, full_scale=1.0)
+        assert q.levels == 256
+        assert q.step == pytest.approx(2.0 / 256)
+
+    def test_roundtrip_error_bounded_by_half_lsb(self, rng):
+        q = UniformQuantizer(bits=10, full_scale=2.0)
+        x = rng.uniform(-2.0, 2.0 - 1e-9, size=1000)
+        err = np.abs(q.quantize_reconstruct(x) - x)
+        assert np.all(err <= q.step / 2 + 1e-12)
+
+    def test_clipping(self):
+        q = UniformQuantizer(bits=4, full_scale=1.0)
+        codes = q.quantize(np.array([-5.0, 5.0]))
+        assert codes[0] == 0
+        assert codes[1] == 15
+
+    def test_monotone(self, rng):
+        q = UniformQuantizer(bits=6, full_scale=1.0)
+        x = np.sort(rng.uniform(-1, 1, 100))
+        codes = q.quantize(x)
+        assert np.all(np.diff(codes) >= 0)
+
+    def test_reconstruct_range_check(self):
+        q = UniformQuantizer(bits=4, full_scale=1.0)
+        with pytest.raises(ValueError):
+            q.reconstruct(np.array([16]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformQuantizer(bits=0, full_scale=1.0)
+        with pytest.raises(ValueError):
+            UniformQuantizer(bits=4, full_scale=0.0)
+
+
+class TestMeasurementQuantizer:
+    def test_no_clipping_on_ecg_like_signals(self, rng):
+        phi = bernoulli_matrix(64, 512, seed=0)
+        q = measurement_quantizer(phi, signal_peak=1024.0, bits=12)
+        # Realistic ECG windows: excursions far below the ADC rails
+        # (synthetic record 100 spans roughly ±350 centered codes).
+        x = rng.uniform(-350, 350, size=512)
+        y = phi @ x
+        codes = q.quantize(y)
+        # No saturation at either rail.
+        assert codes.min() > 0
+        assert codes.max() < q.levels - 1
+
+    def test_quantization_noise_small_vs_signal(self, rng):
+        phi = bernoulli_matrix(64, 512, seed=0)
+        q = measurement_quantizer(phi, signal_peak=1024.0, bits=12)
+        x = rng.uniform(-500, 500, size=512)
+        y = phi @ x
+        err = np.linalg.norm(q.quantize_reconstruct(y) - y)
+        assert err < 0.01 * np.linalg.norm(y)
+
+    def test_validation(self):
+        phi = bernoulli_matrix(4, 8, seed=0)
+        with pytest.raises(ValueError):
+            measurement_quantizer(phi, signal_peak=0.0, bits=12)
+        with pytest.raises(ValueError):
+            measurement_quantizer(phi, signal_peak=1.0, bits=0)

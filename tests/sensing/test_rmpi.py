@@ -1,0 +1,124 @@
+"""Tests of the behavioural RMPI simulator, incl. the discrete equivalence
+the paper's Section III-A asserts."""
+
+import numpy as np
+import pytest
+
+from repro.sensing.matrices import bernoulli_matrix
+from repro.sensing.rmpi import RmpiBank, RmpiNonidealities
+
+
+class TestIdealEquivalence:
+    def test_ideal_bank_equals_bernoulli_matrix(self, rng):
+        """The core claim: an ideal RMPI with ±1 chipping at the Nyquist
+        rate is exactly the Bernoulli measurement matrix."""
+        bank = RmpiBank(m=32, n=128, seed=77)
+        phi = bernoulli_matrix(32, 128, seed=77)
+        assert np.allclose(bank.equivalent_matrix(), phi)
+        x = rng.standard_normal(128)
+        assert np.allclose(bank.measure(x), phi @ x, atol=1e-12)
+
+    def test_chips_are_pm_one(self):
+        bank = RmpiBank(m=8, n=32)
+        assert set(np.unique(bank.chips)) == {-1.0, 1.0}
+
+    def test_chips_read_only(self):
+        bank = RmpiBank(m=4, n=16)
+        with pytest.raises(ValueError):
+            bank.chips[0, 0] = 0.0
+
+    def test_measurement_is_deterministic(self, rng):
+        bank = RmpiBank(m=8, n=64, seed=5)
+        x = rng.standard_normal(64)
+        assert np.array_equal(bank.measure(x), bank.measure(x))
+
+    def test_window_length_enforced(self):
+        bank = RmpiBank(m=4, n=16)
+        with pytest.raises(ValueError):
+            bank.measure(np.zeros(15))
+
+    def test_m_le_n_enforced(self):
+        with pytest.raises(ValueError):
+            RmpiBank(m=20, n=10)
+
+
+class TestNonidealities:
+    def test_leak_biases_measurements(self, rng):
+        x = rng.standard_normal(256)
+        ideal = RmpiBank(m=16, n=256, seed=1)
+        leaky = RmpiBank(
+            m=16,
+            n=256,
+            seed=1,
+            nonidealities=RmpiNonidealities(integrator_leak_per_chip=1e-3),
+        )
+        err = np.linalg.norm(leaky.measure(x) - ideal.measure(x))
+        assert err > 0
+        # Small leak -> small deviation.
+        assert err < 0.2 * np.linalg.norm(ideal.measure(x))
+
+    def test_noise_perturbs_measurements(self, rng):
+        x = rng.standard_normal(128)
+        clean = RmpiBank(m=8, n=128, seed=2)
+        noisy = RmpiBank(
+            m=8,
+            n=128,
+            seed=2,
+            nonidealities=RmpiNonidealities(input_noise_rms=0.01),
+        )
+        assert not np.allclose(noisy.measure(x), clean.measure(x))
+
+    def test_gain_mismatch_scales_channels(self, rng):
+        x = rng.standard_normal(128)
+        ref = RmpiBank(m=8, n=128, seed=3)
+        mis = RmpiBank(
+            m=8,
+            n=128,
+            seed=3,
+            nonidealities=RmpiNonidealities(gain_mismatch_sigma=0.05),
+        )
+        ratio = mis.measure(x) / ref.measure(x)
+        assert np.std(ratio) > 0.0
+        assert np.allclose(ratio, 1.0, atol=0.3)
+
+    def test_is_ideal_flag(self):
+        assert RmpiNonidealities().is_ideal
+        assert not RmpiNonidealities(input_noise_rms=0.1).is_ideal
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RmpiNonidealities(integrator_leak_per_chip=1.0)
+        with pytest.raises(ValueError):
+            RmpiNonidealities(input_noise_rms=-1.0)
+
+
+class TestAdcAndNoiseBound:
+    def test_adc_quantizes_measurements(self, rng):
+        bank = RmpiBank(m=8, n=64, seed=4, adc_bits=8, signal_peak=1.0)
+        x = rng.uniform(-1, 1, 64)
+        y = bank.measure(x)
+        ideal = bank.equivalent_matrix() @ x
+        assert not np.allclose(y, ideal)
+        assert np.linalg.norm(y - ideal) < 0.1 * np.linalg.norm(ideal) + 1.0
+
+    def test_noise_bound_holds(self, rng):
+        """measurement_noise_bound must upper-bound the actual deviation
+        from the ideal discrete model (validated on random inputs)."""
+        nid = RmpiNonidealities(
+            integrator_leak_per_chip=1e-4,
+            input_noise_rms=0.005,
+            gain_mismatch_sigma=0.005,
+        )
+        bank = RmpiBank(
+            m=16, n=256, seed=5, nonidealities=nid, adc_bits=12, signal_peak=1.0
+        )
+        phi = bank.equivalent_matrix()
+        bound = bank.measurement_noise_bound(x_peak=1.0)
+        for trial in range(5):
+            x = np.random.default_rng(trial).uniform(-1, 1, 256)
+            err = np.linalg.norm(bank.measure(x) - phi @ x)
+            assert err <= bound
+
+    def test_bound_zero_for_ideal_unquantized(self):
+        bank = RmpiBank(m=8, n=64, seed=6)
+        assert bank.measurement_noise_bound(1.0) == 0.0

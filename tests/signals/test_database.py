@@ -1,0 +1,142 @@
+"""Tests of the synthetic MIT-BIH-like database."""
+
+import numpy as np
+import pytest
+
+from repro.signals.database import (
+    MITBIH_RECORD_NAMES,
+    SyntheticDatabase,
+    load_database,
+    load_record,
+    record_profile,
+)
+
+
+class TestRecordNames:
+    def test_48_records_like_mitbih(self):
+        assert len(MITBIH_RECORD_NAMES) == 48
+        assert len(set(MITBIH_RECORD_NAMES)) == 48
+
+    def test_known_names_present(self):
+        for name in ("100", "117", "208", "234"):
+            assert name in MITBIH_RECORD_NAMES
+
+
+class TestRecordProfile:
+    def test_deterministic(self):
+        assert record_profile("100") == record_profile("100")
+
+    def test_profiles_differ_across_records(self):
+        hrs = {record_profile(n).mean_hr_bpm for n in MITBIH_RECORD_NAMES}
+        assert len(hrs) == 48
+
+    def test_parameter_ranges(self):
+        for name in MITBIH_RECORD_NAMES:
+            p = record_profile(name)
+            assert 55.0 <= p.mean_hr_bpm <= 95.0
+            assert 0.6 <= p.amplitude_mv <= 1.5
+            assert 0.0 <= p.pvc_probability <= 0.15
+
+    def test_some_records_have_pvcs(self):
+        with_pvc = [
+            n for n in MITBIH_RECORD_NAMES if record_profile(n).pvc_probability > 0
+        ]
+        assert 5 <= len(with_pvc) <= 30
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            record_profile("999")
+
+
+class TestLoadRecord:
+    def test_header_matches_mitbih(self):
+        rec = load_record("100", duration_s=5.0)
+        assert rec.header.fs_hz == 360.0
+        assert rec.header.resolution_bits == 11
+        assert rec.header.adc_zero == 1024
+
+    def test_duration(self):
+        rec = load_record("101", duration_s=7.5)
+        assert rec.duration_s == pytest.approx(7.5)
+
+    def test_deterministic(self):
+        a = load_record("103", duration_s=5.0)
+        b = load_record("103", duration_s=5.0)
+        assert np.array_equal(a.adu, b.adu)
+        assert a.annotations == b.annotations
+
+    def test_records_differ(self):
+        a = load_record("100", duration_s=5.0)
+        b = load_record("101", duration_s=5.0)
+        assert not np.array_equal(a.adu, b.adu)
+
+    def test_signal_in_plausible_adu_range(self):
+        """Paper Fig. 2 plots raw samples around ~900-1250 ADU."""
+        rec = load_record("100", duration_s=10.0)
+        assert 600 < rec.adu.min() < 1100
+        assert 1024 < rec.adu.max() < 1600
+
+    def test_clean_flag_removes_noise(self):
+        noisy = load_record("105", duration_s=5.0)
+        clean = load_record("105", duration_s=5.0, clean=True)
+        assert not np.array_equal(noisy.adu, clean.adu)
+        # Clean record has visibly lower high-frequency energy.
+        def hf(x):
+            d = np.diff(x.astype(float))
+            return float(np.mean(d**2))
+
+        assert hf(clean.adu) < hf(noisy.adu)
+
+    def test_annotations_mark_r_peaks(self):
+        rec = load_record("100", duration_s=20.0, clean=True)
+        assert len(rec.annotations) >= 10
+        mv = rec.signal_mv()
+        peak = float(np.max(np.abs(mv)))
+        for ann in rec.annotations[2:-2]:
+            window = mv[max(0, ann.sample - 15) : ann.sample + 15]
+            assert float(np.max(np.abs(window))) > 0.4 * peak
+
+    def test_pvc_records_annotate_v_beats(self):
+        pvc_names = [
+            n for n in MITBIH_RECORD_NAMES
+            if record_profile(n).pvc_probability > 0.08
+        ]
+        rec = load_record(pvc_names[0], duration_s=60.0)
+        symbols = {a.symbol for a in rec.annotations}
+        assert "V" in symbols and "N" in symbols
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            load_record("100", duration_s=0.0)
+
+
+class TestDatabase:
+    def test_full_load(self):
+        db = load_database(duration_s=2.0)
+        assert len(db) == 48
+        assert db.names == MITBIH_RECORD_NAMES
+
+    def test_subset_and_lookup(self):
+        db = load_database(["100", "200"], duration_s=2.0)
+        assert len(db) == 2
+        assert db["200"].name == "200"
+        with pytest.raises(KeyError):
+            db["101"]
+
+    def test_total_duration(self):
+        db = load_database(["100", "101"], duration_s=3.0)
+        assert db.total_duration_s() == pytest.approx(6.0)
+
+    def test_subset_method(self):
+        db = load_database(["100", "101", "103"], duration_s=2.0)
+        sub = db.subset(["103", "100"])
+        assert sub.names == ("103", "100")
+
+    def test_duplicate_names_rejected(self):
+        rec = load_record("100", duration_s=2.0)
+        with pytest.raises(ValueError):
+            SyntheticDatabase((rec, rec))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticDatabase(())

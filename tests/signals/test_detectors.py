@@ -1,0 +1,69 @@
+"""Tests of the Pan-Tompkins-style QRS detector."""
+
+import numpy as np
+import pytest
+
+from repro.signals.database import MITBIH_RECORD_NAMES, load_record, record_profile
+from repro.signals.detectors import QrsDetector, detect_r_peaks
+
+
+class TestOnSyntheticRecords:
+    def test_clean_record_perfect_detection(self):
+        rec = load_record("100", duration_s=30.0, clean=True)
+        peaks = detect_r_peaks(rec.signal_mv(), rec.header.fs_hz)
+        truth = rec.beat_samples()
+        assert len(peaks) == len(truth)
+        tol = int(0.1 * rec.header.fs_hz)
+        for p, t in zip(sorted(peaks), sorted(truth)):
+            assert abs(p - t) <= tol
+
+    def test_noisy_record_high_sensitivity(self):
+        rec = load_record("100", duration_s=30.0)
+        peaks = detect_r_peaks(rec.signal_mv(), rec.header.fs_hz)
+        truth = rec.beat_samples()
+        assert abs(len(peaks) - len(truth)) <= max(2, 0.1 * len(truth))
+
+    def test_detects_on_adu_scale_too(self):
+        """Amplitude/baseline invariance: raw ADU works like mV."""
+        rec = load_record("103", duration_s=20.0)
+        mv_peaks = detect_r_peaks(rec.signal_mv(), 360.0)
+        adu_peaks = detect_r_peaks(rec.adu.astype(float), 360.0)
+        assert len(mv_peaks) == len(adu_peaks)
+
+    def test_inverted_polarity(self):
+        rec = load_record("103", duration_s=20.0, clean=True)
+        normal = detect_r_peaks(rec.signal_mv(), 360.0)
+        flipped = detect_r_peaks(-rec.signal_mv(), 360.0)
+        assert abs(len(normal) - len(flipped)) <= 1
+
+    def test_pvc_record_detects_most_beats(self):
+        pvc = [n for n in MITBIH_RECORD_NAMES
+               if record_profile(n).pvc_probability > 0.08][0]
+        rec = load_record(pvc, duration_s=30.0)
+        peaks = detect_r_peaks(rec.signal_mv(), 360.0)
+        truth = rec.beat_samples()
+        assert len(peaks) >= 0.85 * len(truth)
+
+
+class TestEdgeCases:
+    def test_flat_signal_no_peaks(self):
+        assert detect_r_peaks(np.zeros(2000), 360.0) == []
+
+    def test_too_short_signal(self):
+        assert detect_r_peaks(np.ones(100), 360.0) == []
+
+    def test_refractory_enforced(self):
+        rec = load_record("100", duration_s=30.0)
+        peaks = detect_r_peaks(rec.signal_mv(), 360.0)
+        spacing = np.diff(sorted(peaks))
+        assert np.all(spacing >= 0.2 * 360.0 / 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            detect_r_peaks(np.zeros((10, 10)), 360.0)
+        with pytest.raises(ValueError):
+            detect_r_peaks(np.zeros(1000), 0.0)
+        with pytest.raises(ValueError):
+            QrsDetector(band_hz=(15.0, 5.0))
+        with pytest.raises(ValueError):
+            QrsDetector(threshold_fraction=1.5)

@@ -1,0 +1,113 @@
+"""Tests of the HRV metrics, incl. closing the loop on the synthesizer."""
+
+import numpy as np
+import pytest
+
+from repro.signals.database import load_record, record_profile
+from repro.signals.hrv import hrv_summary, lf_hf_ratio, rr_intervals
+
+
+class TestRrIntervals:
+    def test_regular_beats(self):
+        rr = rr_intervals([0, 360, 720, 1080], fs_hz=360.0)
+        assert np.allclose(rr, 1.0)
+
+    def test_sorting_applied(self):
+        rr = rr_intervals([720, 0, 360], fs_hz=360.0)
+        assert np.allclose(rr, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rr_intervals([100], fs_hz=360.0)
+        with pytest.raises(ValueError):
+            rr_intervals([0, 0, 360], fs_hz=360.0)
+        with pytest.raises(ValueError):
+            rr_intervals([0, 360], fs_hz=0.0)
+
+
+class TestHrvSummary:
+    def test_metronome_has_zero_variability(self):
+        s = hrv_summary(list(range(0, 3600, 360)), fs_hz=360.0)
+        assert s.mean_hr_bpm == pytest.approx(60.0)
+        assert s.sdnn_s == pytest.approx(0.0)
+        assert s.rmssd_s == pytest.approx(0.0)
+        assert s.pnn50 == 0.0
+
+    def test_alternans_rmssd(self):
+        # Alternating 0.9 s / 1.1 s intervals: |diff| = 0.2 s always.
+        beats = np.cumsum([0] + [324, 396] * 5)
+        s = hrv_summary(beats, fs_hz=360.0)
+        assert s.rmssd_s == pytest.approx(0.2, rel=1e-6)
+        assert s.pnn50 == 1.0
+
+    def test_synthesizer_hr_recovered(self):
+        """Measured mean HR matches the record profile's parameter."""
+        for name in ("100", "112", "231"):
+            profile = record_profile(name)
+            record = load_record(name, duration_s=60.0, clean=True)
+            s = hrv_summary(record.beat_samples(), record.header.fs_hz)
+            assert s.mean_hr_bpm == pytest.approx(
+                profile.mean_hr_bpm, rel=0.05
+            )
+
+    def test_synthesizer_variability_scales(self):
+        """Records with larger std_hr_bpm show larger SDNN."""
+        from repro.signals.database import MITBIH_RECORD_NAMES
+
+        profiles = sorted(
+            (record_profile(n) for n in MITBIH_RECORD_NAMES),
+            key=lambda p: p.std_hr_bpm,
+        )
+        quiet, wild = profiles[0], profiles[-1]
+        s_quiet = hrv_summary(
+            load_record(quiet.name, duration_s=60.0, clean=True).beat_samples(),
+            360.0,
+        )
+        s_wild = hrv_summary(
+            load_record(wild.name, duration_s=60.0, clean=True).beat_samples(),
+            360.0,
+        )
+        assert s_wild.sdnn_s > s_quiet.sdnn_s
+
+
+class TestLfHf:
+    def test_requires_enough_beats(self):
+        with pytest.raises(ValueError):
+            lf_hf_ratio([0, 360, 720], fs_hz=360.0)
+
+    def test_positive_on_synthetic_record(self):
+        record = load_record("100", duration_s=60.0, clean=True)
+        ratio = lf_hf_ratio(record.beat_samples(), record.header.fs_hz)
+        assert ratio > 0.0
+
+    def test_survives_compression(self, codebook_7bit):
+        """RR statistics on the reconstruction match the original — the
+        HRV-level counterpart of the diagnostic-fidelity claim."""
+        from repro.core.config import FrontEndConfig
+        from repro.core.frontend import HybridFrontEnd
+        from repro.core.receiver import HybridReceiver
+        from repro.recovery.pdhg import PdhgSettings
+        from repro.signals.detectors import detect_r_peaks
+
+        config = FrontEndConfig(
+            window_len=256,
+            n_measurements=64,
+            solver=PdhgSettings(max_iter=900, tol=3e-4),
+        )
+        record = load_record("100", duration_s=30.0)
+        fe = HybridFrontEnd(config, codebook_7bit)
+        rx = HybridReceiver(config, codebook_7bit)
+        recons = []
+        for idx, window in enumerate(record.windows(256)):
+            if idx >= 12:
+                break
+            recons.append(
+                rx.reconstruct(fe.process_window(window, idx)).x_centered(1024)
+            )
+        reconstructed = np.concatenate(recons)
+        original = record.adu[: reconstructed.size].astype(float) - 1024
+
+        s_orig = hrv_summary(detect_r_peaks(original, 360.0), 360.0)
+        s_recon = hrv_summary(detect_r_peaks(reconstructed, 360.0), 360.0)
+        assert s_recon.mean_hr_bpm == pytest.approx(s_orig.mean_hr_bpm, rel=0.03)
+        assert abs(s_recon.sdnn_s - s_orig.sdnn_s) < 0.03

@@ -1,0 +1,124 @@
+"""Tests of the noise generators and profiles."""
+
+import numpy as np
+import pytest
+
+from repro.signals.noise import (
+    NoiseProfile,
+    baseline_wander,
+    electrode_motion,
+    muscle_artifact,
+    powerline_interference,
+    white_noise,
+)
+
+FS = 360.0
+DUR = 10.0
+
+
+def _band_power_fraction(x, fs, lo, hi):
+    # Hann window: without it, rectangle-window leakage from narrowband
+    # components dominates the out-of-band tail and masks the filter shape.
+    windowed = x * np.hanning(x.size)
+    spec = np.abs(np.fft.rfft(windowed)) ** 2
+    freqs = np.fft.rfftfreq(x.size, d=1 / fs)
+    band = spec[(freqs >= lo) & (freqs <= hi)].sum()
+    return band / spec.sum()
+
+
+class TestBaselineWander:
+    def test_is_lowpass(self, rng):
+        drift = baseline_wander(DUR, FS, cutoff_hz=0.5, rng=rng)
+        assert _band_power_fraction(drift, FS, 0.0, 1.0) > 0.95
+
+    def test_rms_amplitude(self, rng):
+        drift = baseline_wander(DUR, FS, amplitude_mv=0.08, rng=rng)
+        assert float(np.sqrt(np.mean(drift**2))) == pytest.approx(0.08, rel=1e-6)
+
+    def test_length(self, rng):
+        assert baseline_wander(2.0, FS, rng=rng).size == 720
+
+
+class TestPowerline:
+    def test_peak_at_mains(self):
+        hum = powerline_interference(DUR, FS, mains_hz=60.0, amplitude_mv=0.01)
+        spec = np.abs(np.fft.rfft(hum))
+        freqs = np.fft.rfftfreq(hum.size, d=1 / FS)
+        assert abs(freqs[np.argmax(spec)] - 60.0) < 0.2
+
+    def test_harmonic_present(self):
+        hum = powerline_interference(
+            DUR, FS * 4, mains_hz=50.0, harmonic_fraction=0.3
+        )
+        assert _band_power_fraction(hum, FS * 4, 148.0, 152.0) > 0.05
+
+    def test_deterministic(self):
+        a = powerline_interference(1.0, FS)
+        b = powerline_interference(1.0, FS)
+        assert np.array_equal(a, b)
+
+
+class TestMuscleArtifact:
+    def test_is_bandpass(self, rng):
+        emg = muscle_artifact(DUR, FS, band_hz=(20.0, 120.0), rng=rng)
+        assert _band_power_fraction(emg, FS, 15.0, 130.0) > 0.9
+
+    def test_rms(self, rng):
+        emg = muscle_artifact(DUR, FS, amplitude_mv=0.05, rng=rng)
+        assert float(np.sqrt(np.mean(emg**2))) == pytest.approx(0.05, rel=1e-6)
+
+    def test_band_clipped_at_low_fs(self, rng):
+        """Upper edge above Nyquist must not crash."""
+        emg = muscle_artifact(DUR, 100.0, band_hz=(20.0, 120.0), rng=rng)
+        assert emg.size == 1000
+
+
+class TestElectrodeMotion:
+    def test_sparse_events(self):
+        rng = np.random.default_rng(0)
+        bumps = electrode_motion(
+            60.0, FS, events_per_minute=2.0, amplitude_mv=0.5, rng=rng
+        )
+        active = np.mean(np.abs(bumps) > 0.01)
+        assert active < 0.5  # transients, not continuous noise
+
+    def test_no_events_is_zero(self, rng):
+        bumps = electrode_motion(10.0, FS, events_per_minute=0.0, rng=rng)
+        assert np.allclose(bumps, 0.0)
+
+
+class TestWhiteNoise:
+    def test_flat_spectrum(self, rng):
+        wn = white_noise(DUR, FS, amplitude_mv=1.0, rng=rng)
+        low = _band_power_fraction(wn, FS, 1.0, 60.0)
+        high = _band_power_fraction(wn, FS, 60.0, 119.0)
+        assert low == pytest.approx(high, rel=0.3)
+
+
+class TestNoiseProfile:
+    def test_render_sums_components(self):
+        profile = NoiseProfile(
+            baseline_mv=0.05, powerline_mv=0.01, muscle_mv=0.01, white_mv=0.005
+        )
+        noise = profile.render(DUR, FS, np.random.default_rng(1))
+        assert noise.size == int(DUR * FS)
+        assert float(np.std(noise)) > 0.03
+
+    def test_all_zero_profile(self):
+        profile = NoiseProfile(0.0, 0.0, 0.0, 0.0)
+        noise = profile.render(1.0, FS, np.random.default_rng(1))
+        assert np.allclose(noise, 0.0)
+
+    def test_scaled(self):
+        base = NoiseProfile()
+        double = base.scaled(2.0)
+        assert double.baseline_mv == pytest.approx(2 * base.baseline_mv)
+        assert double.mains_hz == base.mains_hz
+        with pytest.raises(ValueError):
+            base.scaled(-1.0)
+
+    def test_deterministic_given_rng(self):
+        p = NoiseProfile()
+        a = p.render(2.0, FS, np.random.default_rng(9))
+        b = p.render(2.0, FS, np.random.default_rng(9))
+        assert np.array_equal(a, b)

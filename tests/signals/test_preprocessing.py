@@ -1,0 +1,89 @@
+"""Tests of receiver-side preprocessing filters."""
+
+import numpy as np
+import pytest
+
+from repro.signals.noise import baseline_wander, powerline_interference
+from repro.signals.preprocessing import clean, notch_mains, remove_baseline
+
+FS = 360.0
+
+
+def _band_power(x, fs, lo, hi):
+    w = x * np.hanning(x.size)
+    spec = np.abs(np.fft.rfft(w)) ** 2
+    freqs = np.fft.rfftfreq(x.size, d=1 / fs)
+    return float(spec[(freqs >= lo) & (freqs <= hi)].sum())
+
+
+class TestRemoveBaseline:
+    def test_kills_drift_keeps_qrs_band(self, rng):
+        drift = baseline_wander(20.0, FS, amplitude_mv=0.3, rng=rng)
+        qrs_like = 0.5 * np.sin(2 * np.pi * 10.0 * np.arange(drift.size) / FS)
+        x = drift + qrs_like
+        out = remove_baseline(x, FS)
+        assert _band_power(out, FS, 0.0, 0.4) < 0.05 * _band_power(x, FS, 0.0, 0.4)
+        kept = _band_power(out, FS, 9.0, 11.0) / _band_power(x, FS, 9.0, 11.0)
+        assert kept > 0.9
+
+    def test_zero_phase(self):
+        """An impulse's energy centroid must not shift."""
+        x = np.zeros(2000)
+        x[1000] = 1.0
+        out = remove_baseline(x, FS)
+        centroid = float(np.sum(np.arange(2000) * out**2) / np.sum(out**2))
+        assert abs(centroid - 1000) < 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            remove_baseline(np.ones(1000), FS, cutoff_hz=0.0)
+        with pytest.raises(ValueError):
+            remove_baseline(np.ones(1000), FS, cutoff_hz=200.0)
+        with pytest.raises(ValueError):
+            remove_baseline(np.ones(5), FS)
+        with pytest.raises(ValueError):
+            remove_baseline(np.ones((10, 2)), FS)
+
+
+class TestNotch:
+    def test_removes_mains_keeps_neighbours(self):
+        n = int(20 * FS)
+        t = np.arange(n) / FS
+        hum = powerline_interference(20.0, FS, mains_hz=60.0, amplitude_mv=0.2)
+        signal = 0.3 * np.sin(2 * np.pi * 12.0 * t)
+        x = signal + hum
+        out = notch_mains(x, FS, mains_hz=60.0)
+        assert _band_power(out, FS, 59.0, 61.0) < 0.05 * _band_power(x, FS, 59.0, 61.0)
+        kept = _band_power(out, FS, 11.0, 13.0) / _band_power(x, FS, 11.0, 13.0)
+        assert kept > 0.95
+
+    def test_50hz_variant(self):
+        n = int(10 * FS)
+        t = np.arange(n) / FS
+        x = np.sin(2 * np.pi * 50.0 * t)
+        out = notch_mains(x, FS, mains_hz=50.0)
+        assert float(np.std(out)) < 0.1 * float(np.std(x))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            notch_mains(np.ones(100), FS, mains_hz=500.0)
+        with pytest.raises(ValueError):
+            notch_mains(np.ones(100), FS, q_factor=0.0)
+
+
+class TestClean:
+    def test_improves_detector_conditions(self, record_100):
+        """Cleaning a noisy reconstruction-like signal should not break
+        (and typically helps) beat detection."""
+        from repro.signals.detectors import detect_r_peaks
+
+        x = record_100.signal_mv()
+        cleaned = clean(x, record_100.header.fs_hz)
+        raw_peaks = detect_r_peaks(x, record_100.header.fs_hz)
+        clean_peaks = detect_r_peaks(cleaned, record_100.header.fs_hz)
+        assert abs(len(clean_peaks) - len(raw_peaks)) <= 2
+
+    def test_composition_order(self, rng):
+        x = rng.standard_normal(4000)
+        manual = notch_mains(remove_baseline(x, FS), FS)
+        assert np.allclose(clean(x, FS), manual)

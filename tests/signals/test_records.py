@@ -1,0 +1,119 @@
+"""Tests of the Record/RecordHeader containers."""
+
+import numpy as np
+import pytest
+
+from repro.signals.records import (
+    BeatAnnotation,
+    MITBIH_HEADER,
+    Record,
+    RecordHeader,
+    concatenate_records,
+)
+
+
+class TestRecordHeader:
+    def test_mitbih_defaults(self):
+        assert MITBIH_HEADER.fs_hz == 360.0
+        assert MITBIH_HEADER.resolution_bits == 11
+        assert MITBIH_HEADER.adc_levels == 2048
+        assert MITBIH_HEADER.adc_zero == 1024
+
+    def test_full_scale_is_10mv(self):
+        # 11 bits over 10 mV, per the paper's Section IV description.
+        assert MITBIH_HEADER.full_scale_mv == pytest.approx(10.24)
+
+    def test_mv_adu_roundtrip(self):
+        mv = np.array([-1.0, 0.0, 0.5, 2.5])
+        adu = MITBIH_HEADER.mv_to_adu(mv)
+        assert np.allclose(MITBIH_HEADER.adu_to_mv(adu), mv, atol=1.0 / 200)
+
+    def test_mv_to_adu_clips(self):
+        adu = MITBIH_HEADER.mv_to_adu(np.array([-100.0, 100.0]))
+        assert adu[0] == 0
+        assert adu[1] == 2047
+
+    def test_zero_mv_maps_to_adc_zero(self):
+        assert MITBIH_HEADER.mv_to_adu(np.array([0.0]))[0] == 1024
+
+
+def _record(n=720, name="x"):
+    adu = (1024 + 100 * np.sin(np.arange(n) / 10)).astype(np.int64)
+    return Record(name=name, adu=adu)
+
+
+class TestRecord:
+    def test_basic_properties(self):
+        rec = _record(720)
+        assert len(rec) == 720
+        assert rec.duration_s == pytest.approx(2.0)
+        assert rec.time_axis()[1] == pytest.approx(1 / 360)
+
+    def test_signal_mv_centered(self):
+        rec = _record()
+        mv = rec.signal_mv()
+        assert abs(float(np.mean(mv))) < 0.1
+
+    def test_rejects_float_signal(self):
+        with pytest.raises(TypeError):
+            Record(name="bad", adu=np.ones(10))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Record(name="bad", adu=np.array([4096], dtype=np.int64))
+        with pytest.raises(ValueError):
+            Record(name="bad", adu=np.array([-1], dtype=np.int64))
+
+    def test_rejects_empty_and_2d(self):
+        with pytest.raises(ValueError):
+            Record(name="bad", adu=np.empty(0, dtype=np.int64))
+        with pytest.raises(ValueError):
+            Record(name="bad", adu=np.zeros((2, 2), dtype=np.int64))
+
+    def test_windows_partition(self):
+        rec = _record(700)
+        windows = list(rec.windows(128))
+        assert len(windows) == 5
+        assert all(w.size == 128 for w in windows)
+        rebuilt = np.concatenate(windows)
+        assert np.array_equal(rebuilt, rec.adu[: 5 * 128])
+
+    def test_windows_keep_last_partial(self):
+        rec = _record(300)
+        windows = list(rec.windows(128, drop_last=False))
+        assert [w.size for w in windows] == [128, 128, 44]
+
+    def test_window_count(self):
+        assert _record(700).window_count(128) == 5
+        with pytest.raises(ValueError):
+            _record().window_count(0)
+
+    def test_heart_rate_from_annotations(self):
+        ann = tuple(BeatAnnotation(sample=i * 360) for i in range(5))
+        rec = Record(name="hr", adu=_record(1800).adu, annotations=ann)
+        assert rec.mean_heart_rate_bpm() == pytest.approx(60.0)
+
+    def test_beat_samples_filter(self):
+        ann = (BeatAnnotation(10, "N"), BeatAnnotation(20, "V"))
+        rec = Record(name="f", adu=_record().adu, annotations=ann)
+        assert rec.beat_samples() == [10, 20]
+        assert rec.beat_samples("V") == [20]
+
+
+class TestConcatenate:
+    def test_lengths_and_annotations_shift(self):
+        a = Record(name="a", adu=_record(360).adu, annotations=(BeatAnnotation(5),))
+        b = Record(name="b", adu=_record(360).adu, annotations=(BeatAnnotation(7),))
+        merged = concatenate_records("ab", [a, b])
+        assert len(merged) == 720
+        assert [x.sample for x in merged.annotations] == [5, 367]
+
+    def test_header_mismatch_rejected(self):
+        a = _record(360)
+        b = Record(
+            name="b",
+            adu=np.full(360, 100, dtype=np.int64),
+            header=RecordHeader(fs_hz=250.0),
+        )
+        with pytest.raises(ValueError):
+            concatenate_records("ab", [a, b])

@@ -1,0 +1,108 @@
+"""Tests of the WFDB format-212 reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.signals.database import load_record
+from repro.signals.wfdb_io import (
+    pack_212,
+    read_header,
+    read_record,
+    unpack_212,
+    write_record,
+)
+
+
+class TestPack212:
+    def test_known_pair(self):
+        # a = 0x123, b = 0x456 -> bytes 0x23, 0x41, 0x56.
+        data = pack_212(np.array([0x123, 0x456], dtype=np.int64))
+        assert data == bytes([0x23, 0x41, 0x56])
+
+    def test_roundtrip_even(self, rng):
+        samples = rng.integers(-2048, 2048, size=100)
+        assert np.array_equal(unpack_212(pack_212(samples), 100), samples)
+
+    def test_roundtrip_odd(self, rng):
+        samples = rng.integers(-2048, 2048, size=101)
+        assert np.array_equal(unpack_212(pack_212(samples), 101), samples)
+
+    def test_negative_samples(self):
+        samples = np.array([-1, -2048, 2047, 0], dtype=np.int64)
+        assert np.array_equal(unpack_212(pack_212(samples), 4), samples)
+
+    def test_range_enforced(self):
+        with pytest.raises(ValueError):
+            pack_212(np.array([2048], dtype=np.int64))
+        with pytest.raises(TypeError):
+            pack_212(np.array([0.5]))
+
+    def test_unpack_validation(self):
+        with pytest.raises(ValueError):
+            unpack_212(b"\x00\x00", 1)  # not a multiple of 3
+        with pytest.raises(ValueError):
+            unpack_212(b"\x00\x00\x00", 3)  # too many requested
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 7, 64])
+    def test_roundtrip_sizes(self, n, rng):
+        samples = rng.integers(-2048, 2048, size=n)
+        assert np.array_equal(unpack_212(pack_212(samples), n), samples)
+
+
+class TestWriteRead:
+    def test_record_roundtrip(self, tmp_path):
+        record = load_record("100", duration_s=5.0)
+        hea, dat = write_record(record, tmp_path)
+        assert hea.exists() and dat.exists()
+        loaded = read_record(hea)
+        assert loaded.name == record.name
+        assert loaded.header.fs_hz == record.header.fs_hz
+        assert loaded.header.adc_gain == record.header.adc_gain
+        assert loaded.header.adc_zero == record.header.adc_zero
+        assert np.array_equal(loaded.adu, record.adu)
+
+    def test_header_parse(self, tmp_path):
+        record = load_record("103", duration_s=2.0)
+        hea, _ = write_record(record, tmp_path)
+        name, n_samples, fs, signals = read_header(hea)
+        assert name == "103"
+        assert n_samples == len(record)
+        assert fs == 360.0
+        assert len(signals) == 1
+        assert signals[0].fmt == 212
+        assert signals[0].adc_zero == 1024
+
+    def test_mitbih_style_header_accepted(self, tmp_path):
+        """Parse a header in the exact style PhysioNet ships for MIT-BIH."""
+        record = load_record("100", duration_s=1.0)
+        samples = record.adu.astype(np.int64)
+        # Interleave two copies as a 2-signal record.
+        inter = np.empty(2 * samples.size, dtype=np.int64)
+        inter[0::2] = samples
+        inter[1::2] = samples
+        (tmp_path / "100.dat").write_bytes(pack_212(inter))
+        (tmp_path / "100.hea").write_text(
+            f"100 2 360 {samples.size}\n"
+            f"100.dat 212 200 11 1024 995 -22131 0 MLII\n"
+            f"100.dat 212 200 11 1024 1011 20052 0 V5\n"
+        )
+        loaded = read_record(tmp_path / "100.hea", channel=1)
+        assert np.array_equal(loaded.adu, samples)
+        assert loaded.header.resolution_bits == 11
+
+    def test_channel_out_of_range(self, tmp_path):
+        record = load_record("100", duration_s=1.0)
+        hea, _ = write_record(record, tmp_path)
+        with pytest.raises(ValueError):
+            read_record(hea, channel=3)
+
+    def test_unsupported_format_rejected(self, tmp_path):
+        (tmp_path / "x.hea").write_text("x 1 360 10\nx.dat 16 200 11 1024\n")
+        (tmp_path / "x.dat").write_bytes(b"\x00" * 30)
+        with pytest.raises(ValueError, match="212"):
+            read_record(tmp_path / "x.hea")
+
+    def test_empty_header_rejected(self, tmp_path):
+        (tmp_path / "e.hea").write_text("\n# only comments\n")
+        with pytest.raises(ValueError):
+            read_header(tmp_path / "e.hea")

@@ -1,0 +1,135 @@
+"""Tests of the periodized orthogonal DWT: perfect reconstruction,
+isometry, layout bookkeeping — plus hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.wavelets.dwt import (
+    WaveletCoeffs,
+    coeff_slices,
+    dwt_step,
+    idwt_step,
+    max_level,
+    wavedec,
+    waverec,
+)
+
+
+class TestSingleLevel:
+    @pytest.mark.parametrize("name", ["haar", "db2", "db4", "db8", "sym5"])
+    def test_perfect_reconstruction(self, name, rng):
+        x = rng.standard_normal(64)
+        a, d = dwt_step(x, name)
+        assert np.allclose(idwt_step(a, d, name), x, atol=1e-10)
+
+    @pytest.mark.parametrize("name", ["haar", "db4", "sym6"])
+    def test_energy_preserved(self, name, rng):
+        x = rng.standard_normal(128)
+        a, d = dwt_step(x, name)
+        assert np.dot(a, a) + np.dot(d, d) == pytest.approx(np.dot(x, x))
+
+    def test_output_lengths_halve(self, rng):
+        a, d = dwt_step(rng.standard_normal(40), "db3")
+        assert a.size == d.size == 20
+
+    def test_haar_closed_form(self):
+        x = np.array([1.0, 3.0, 2.0, 6.0])
+        a, d = dwt_step(x, "haar")
+        assert np.allclose(a, [4.0, 8.0] / np.sqrt(2))
+        assert np.allclose(d, [-2.0, -4.0] / np.sqrt(2))
+
+    def test_constant_signal_has_zero_detail(self):
+        a, d = dwt_step(np.full(32, 5.0), "db4")
+        assert np.allclose(d, 0.0, atol=1e-10)
+        assert np.allclose(a, 5.0 * np.sqrt(2), atol=1e-10)
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            dwt_step(np.ones(7), "haar")
+
+    def test_wrap_around_shorter_than_filter(self, rng):
+        """Periodization must stay PR even when n < filter length."""
+        x = rng.standard_normal(4)
+        a, d = dwt_step(x, "db4")  # filter length 8 > 4
+        assert np.allclose(idwt_step(a, d, "db4"), x, atol=1e-10)
+
+
+class TestMultilevel:
+    @pytest.mark.parametrize("levels", [1, 2, 3, 5])
+    def test_perfect_reconstruction(self, levels, rng):
+        x = rng.standard_normal(256)
+        coeffs = wavedec(x, "db4", levels)
+        assert np.allclose(waverec(coeffs), x, atol=1e-9)
+
+    def test_energy_preserved(self, rng):
+        x = rng.standard_normal(512)
+        coeffs = wavedec(x, "sym4", 4)
+        flat = coeffs.flatten()
+        assert np.dot(flat, flat) == pytest.approx(np.dot(x, x))
+
+    def test_coefficient_counts(self, rng):
+        coeffs = wavedec(rng.standard_normal(64), "haar", 3)
+        assert coeffs.approx.size == 8
+        assert [d.size for d in coeffs.details] == [8, 16, 32]
+        assert coeffs.n == 64
+
+    def test_flatten_roundtrip(self, rng):
+        x = rng.standard_normal(128)
+        coeffs = wavedec(x, "db2", 3)
+        rebuilt = WaveletCoeffs.from_flat(coeffs.flatten(), 128, 3, "db2")
+        assert np.allclose(waverec(rebuilt), x, atol=1e-10)
+
+    def test_indivisible_length_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            wavedec(np.ones(100), "haar", 3)
+
+    def test_zero_levels_rejected(self):
+        with pytest.raises(ValueError):
+            wavedec(np.ones(64), "haar", 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31),
+        levels=st.integers(1, 4),
+        name=st.sampled_from(["haar", "db2", "db4", "sym4"]),
+    )
+    def test_pr_property(self, seed, levels, name):
+        x = np.random.default_rng(seed).standard_normal(64)
+        assert np.allclose(waverec(wavedec(x, name, levels)), x, atol=1e-8)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_linearity(self, seed):
+        r = np.random.default_rng(seed)
+        x, y = r.standard_normal((2, 64))
+        cx = wavedec(x, "db4", 2).flatten()
+        cy = wavedec(y, "db4", 2).flatten()
+        cxy = wavedec(2.0 * x - 3.0 * y, "db4", 2).flatten()
+        assert np.allclose(cxy, 2.0 * cx - 3.0 * cy, atol=1e-9)
+
+
+class TestLayoutHelpers:
+    def test_coeff_slices_partition(self):
+        slices = coeff_slices(64, 3)
+        covered = []
+        for s in slices:
+            covered.extend(range(s.start, s.stop))
+        assert covered == list(range(64))
+
+    def test_coeff_slices_sizes(self):
+        slices = coeff_slices(64, 3)
+        assert [s.stop - s.start for s in slices] == [8, 8, 16, 32]
+
+    def test_max_level_values(self):
+        # haar (length 2): halve while the approximation stays >= 2.
+        assert max_level(512, "haar") == 8
+        # db4 (length 8): stop when approx would drop below 8.
+        assert max_level(512, "db4") == 6
+
+    def test_max_level_odd_signal(self):
+        assert max_level(7, "haar") == 0
+
+    def test_from_flat_validates_length(self):
+        with pytest.raises(ValueError):
+            WaveletCoeffs.from_flat(np.ones(10), 64, 2, "haar")

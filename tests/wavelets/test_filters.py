@@ -1,0 +1,139 @@
+"""Tests of the from-scratch wavelet filter construction.
+
+Rather than comparing against hard-coded decimal tables, these verify the
+defining mathematical properties: normalization, double-shift
+orthonormality (the condition that makes the DWT an isometry), vanishing
+moments, and the QMF relation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.wavelets.filters import (
+    MAX_VANISHING_MOMENTS,
+    available_wavelets,
+    daubechies_lowpass,
+    quadrature_mirror,
+    symlet_lowpass,
+    wavelet,
+)
+
+ALL_P = list(range(1, MAX_VANISHING_MOMENTS + 1))
+
+
+class TestDaubechiesConstruction:
+    def test_haar_is_exact(self):
+        h = np.asarray(daubechies_lowpass(1))
+        assert np.allclose(h, [1 / np.sqrt(2)] * 2)
+
+    @pytest.mark.parametrize("p", ALL_P)
+    def test_length(self, p):
+        assert len(daubechies_lowpass(p)) == 2 * p
+
+    @pytest.mark.parametrize("p", ALL_P)
+    def test_sum_is_sqrt2(self, p):
+        assert np.sum(daubechies_lowpass(p)) == pytest.approx(np.sqrt(2), abs=1e-8)
+
+    @pytest.mark.parametrize("p", ALL_P)
+    def test_unit_norm(self, p):
+        h = np.asarray(daubechies_lowpass(p))
+        assert np.dot(h, h) == pytest.approx(1.0, abs=1e-7)
+
+    @pytest.mark.parametrize("p", ALL_P)
+    def test_double_shift_orthogonality(self, p):
+        h = np.asarray(daubechies_lowpass(p))
+        for k in range(1, p):
+            assert abs(np.dot(h[: -2 * k], h[2 * k :])) < 1e-7
+
+    @pytest.mark.parametrize("p", [2, 4, 6, 8, 10])
+    def test_vanishing_moments(self, p):
+        """The wavelet filter annihilates polynomials of degree < p."""
+        g = quadrature_mirror(np.asarray(daubechies_lowpass(p)))
+        idx = np.arange(g.size, dtype=float)
+        for moment in range(p):
+            # Tolerance scales with the moment magnitude.
+            scale = max(1.0, float(np.sum(idx**moment)))
+            assert abs(np.dot(g, idx**moment)) / scale < 1e-6
+
+    def test_minimum_phase_roots_inside(self):
+        """Extremal-phase Daubechies have all non-trivial zeros inside the
+        unit circle."""
+        h = np.asarray(daubechies_lowpass(4))
+        roots = np.roots(h)
+        nontrivial = roots[np.abs(roots + 1.0) > 1e-3]  # drop z=-1 zeros
+        assert np.all(np.abs(nontrivial) < 1.0 + 1e-8)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            daubechies_lowpass(0)
+        with pytest.raises(ValueError):
+            daubechies_lowpass(MAX_VANISHING_MOMENTS + 1)
+
+
+class TestSymlets:
+    @pytest.mark.parametrize("p", range(2, MAX_VANISHING_MOMENTS + 1))
+    def test_orthonormality(self, p):
+        h = np.asarray(symlet_lowpass(p))
+        assert np.sum(h) == pytest.approx(np.sqrt(2), abs=1e-8)
+        assert np.dot(h, h) == pytest.approx(1.0, abs=1e-7)
+        for k in range(1, p):
+            assert abs(np.dot(h[: -2 * k], h[2 * k :])) < 1e-7
+
+    @pytest.mark.parametrize("p", [4, 6, 8])
+    def test_more_symmetric_than_daubechies(self, p):
+        """The selection criterion: symlets have lower phase nonlinearity."""
+        from repro.wavelets.filters import _phase_nonlinearity
+
+        db = _phase_nonlinearity(np.asarray(daubechies_lowpass(p)))
+        sym = _phase_nonlinearity(np.asarray(symlet_lowpass(p)))
+        assert sym <= db + 1e-12
+
+    def test_small_orders_match_daubechies(self):
+        """sym2/sym3 coincide with db2/db3 (the factorization is unique up
+        to reflection there)."""
+        for p in (2, 3):
+            sym = np.asarray(symlet_lowpass(p))
+            db = np.asarray(daubechies_lowpass(p))
+            assert np.allclose(sym, db, atol=1e-8) or np.allclose(
+                sym, db[::-1], atol=1e-8
+            )
+
+
+class TestQuadratureMirror:
+    def test_alternating_flip(self):
+        h = np.array([0.1, 0.2, 0.3, 0.4])
+        g = quadrature_mirror(h)
+        assert np.allclose(g, [0.4, -0.3, 0.2, -0.1])
+
+    def test_orthogonal_to_lowpass(self):
+        h = np.asarray(daubechies_lowpass(4))
+        g = quadrature_mirror(h)
+        assert abs(np.dot(h, g)) < 1e-10
+
+    def test_rejects_odd_length(self):
+        with pytest.raises(ValueError):
+            quadrature_mirror(np.ones(3))
+
+
+class TestLookup:
+    def test_names_resolve(self):
+        for name in available_wavelets():
+            filt = wavelet(name)
+            assert filt.length >= 2
+
+    def test_haar_aliases_db1(self):
+        assert wavelet("haar").rec_lo == wavelet("db1").rec_lo
+
+    def test_case_insensitive(self):
+        assert wavelet("DB4").name == "db4"
+
+    def test_filter_bank_views(self):
+        filt = wavelet("db3")
+        dec_lo, dec_hi, rec_lo, rec_hi = filt.arrays()
+        assert np.allclose(dec_lo, rec_lo[::-1])
+        assert np.allclose(dec_hi, rec_hi[::-1])
+
+    def test_unknown_names_rejected(self):
+        for bad in ("db0", "dbx", "sym1", "coif3", "wavelet9"):
+            with pytest.raises(ValueError):
+                wavelet(bad)
