@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full report examples clean-cache
+.PHONY: install test lint bench bench-full report examples clean-cache
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.cli lint src --strict
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -8,7 +8,9 @@ Four subcommands cover the everyday workflows:
 * ``repro tradeoff``   — the low-resolution channel design table
   (Figs. 5-6 / Table I in one view);
 * ``repro power``      — the Section VI power comparison for a given pair
-  of operating points.
+  of operating points;
+* ``repro lint``       — the ``reprolint`` static-analysis pass over the
+  source tree (see ``docs/static_analysis.md``).
 
 Installed as ``repro`` via the console-script entry point, also runnable
 as ``python -m repro.cli``.
@@ -153,6 +155,31 @@ def _cmd_power(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.reprolint import (
+        all_rule_ids,
+        get_rules,
+        lint_paths,
+        render_json,
+        render_text,
+    )
+
+    if args.list_rules:
+        for rule in get_rules():
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+    findings = lint_paths(
+        [Path(p) for p in (args.paths or ["src"])],
+        select=args.select or None,
+        ignore=args.ignore or None,
+    )
+    render = render_json if args.format == "json" else render_text
+    print(render(findings))
+    if findings:
+        return 1 if args.strict else 0
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import build_report, write_report
 
@@ -210,6 +237,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="exit nonzero unless every expected artifact exists")
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("lint", help="run the reprolint static-analysis pass")
+    p.add_argument("paths", nargs="*", help="files/directories (default: src)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="reporter (default: text)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero when any finding remains")
+    p.add_argument("--select", nargs="*", metavar="RULE",
+                   help="only run these rule ids (e.g. RL001 RL005)")
+    p.add_argument("--ignore", nargs="*", metavar="RULE",
+                   help="skip these rule ids")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the registered rules and exit")
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("power", help="Section VI power comparison")
     p.add_argument("--m-normal", type=int, default=240)

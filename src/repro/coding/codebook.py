@@ -181,7 +181,7 @@ class DifferenceCodebook:
     def decode_window(
         self, payload: bytes, n_samples: int, bit_length: int | None = None
     ) -> np.ndarray:
-        """Inverse of :meth:`encode_window`; returns the B-bit codes."""
+        """Inverse of :meth:`encode_window`; the B-bit codes, shape ``(n,)``."""
         if n_samples <= 0:
             raise ValueError("n_samples must be positive")
         reader = BitReader(payload, bit_length)

@@ -34,11 +34,11 @@ def difference_encode(codes: np.ndarray) -> Tuple[int, np.ndarray]:
         raise TypeError("difference coding operates on integer codes")
     if arr.ndim != 1 or arr.size == 0:
         raise ValueError("expected a non-empty 1-D code stream")
-    return int(arr[0]), np.diff(arr.astype(np.int64))
+    return int(arr[0]), np.diff(arr.astype(np.int64, copy=False))
 
 
 def difference_decode(first: int, diffs: np.ndarray) -> np.ndarray:
-    """Rebuild the code stream from (first sample, differences)."""
+    """Rebuild the 1-D code stream from (first sample, differences)."""
     d = np.asarray(diffs, dtype=np.int64)
     if d.ndim != 1:
         raise ValueError("diffs must be 1-D")

@@ -101,7 +101,7 @@ def tokenize_diffs(diffs: Sequence[int]) -> List[Token]:
 
 
 def detokenize_diffs(tokens: Iterable[Token]) -> np.ndarray:
-    """Inverse of :func:`tokenize_diffs`."""
+    """Inverse of :func:`tokenize_diffs`; returns the 1-D difference array."""
     out: List[int] = []
     for tok in tokens:
         if isinstance(tok, ZeroRun):

@@ -174,7 +174,7 @@ class RobustReceiver:
                 recon = self._receiver.reconstruct(packet)
                 self._last_codes = recon.x_codes
                 return recon, "hybrid"
-            except (ValueError, EOFError):
+            except (ValueError, EOFError):  # reprolint: disable=RL006 -- deliberate CS-only fallback on payload desync, mode is reported to the caller
                 pass  # desynchronized payload: fall back below
 
         stripped = WindowPacket(

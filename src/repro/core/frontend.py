@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.coding.codebook import DifferenceCodebook
 from repro.core.config import FrontEndConfig
+from repro.devtools.contracts import check_dtype, check_shape
 from repro.core.packets import WindowPacket
 from repro.core.windowing import WindowFramer
 from repro.sensing.quantizers import (
@@ -51,13 +52,9 @@ class _CsPath:
         )
 
     def check_window(self, codes: np.ndarray) -> np.ndarray:
-        arr = np.asarray(codes)
-        if arr.ndim != 1 or arr.size != self.config.window_len:
-            raise ValueError(
-                f"expected a window of {self.config.window_len} samples"
-            )
-        if not np.issubdtype(arr.dtype, np.integer):
-            raise TypeError("windows must be integer acquisition codes")
+        """Validate one window of acquisition codes; returns shape ``(n,)``."""
+        arr = check_shape(codes, (self.config.window_len,), name="codes")
+        arr = check_dtype(arr, "integer", name="codes")
         if arr.size and (
             arr.min() < 0 or arr.max() >= (1 << self.config.acquisition_bits)
         ):
@@ -67,7 +64,7 @@ class _CsPath:
         return arr
 
     def measure(self, codes: np.ndarray) -> np.ndarray:
-        """CS measurement codes for one window of acquisition codes."""
+        """CS measurement codes for one window; int array of shape ``(m,)``."""
         centered = self.check_window(codes).astype(float) - self.center
         y = self.phi @ centered
         return self.quantizer.quantize(y)
@@ -97,11 +94,11 @@ class HybridFrontEnd:
 
     @property
     def phi(self) -> np.ndarray:
-        """The CS path's sensing matrix (receiver rebuilds it from config)."""
+        """The CS path's sensing matrix, shape ``(m, n)`` (receiver rebuilds it)."""
         return self._cs.phi
 
     def lowres_codes(self, codes: np.ndarray) -> np.ndarray:
-        """The parallel channel's B-bit output for one window."""
+        """The parallel channel's B-bit output for one window, shape ``(n,)``."""
         arr = self._cs.check_window(codes)
         return requantize_codes(
             arr, self.config.acquisition_bits, self.config.lowres_bits
@@ -155,7 +152,7 @@ class NormalCsFrontEnd:
 
     @property
     def phi(self) -> np.ndarray:
-        """The sensing matrix."""
+        """The sensing matrix, shape ``(m, n)``."""
         return self._cs.phi
 
     def process_window(self, codes: np.ndarray, window_index: int = 0) -> WindowPacket:

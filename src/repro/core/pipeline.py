@@ -59,12 +59,12 @@ class RecordOutcome:
 
     @property
     def prds(self) -> np.ndarray:
-        """Per-window PRDs in percent."""
+        """Per-window PRDs in percent, shape ``(n_windows,)``."""
         return np.array([w.prd_percent for w in self.windows])
 
     @property
     def snrs(self) -> np.ndarray:
-        """Per-window SNRs in dB."""
+        """Per-window SNRs in dB, shape ``(n_windows,)``."""
         return np.array([w.snr_db for w in self.windows])
 
     @property

@@ -23,6 +23,7 @@ import numpy as np
 from repro.coding.codebook import DifferenceCodebook
 from repro.core.config import FrontEndConfig
 from repro.core.packets import WindowPacket
+from repro.devtools.contracts import check_dtype, check_shape
 from repro.recovery.bpdn import solve_bpdn
 from repro.recovery.hybrid import solve_hybrid
 from repro.recovery.problem import CsProblem
@@ -49,7 +50,7 @@ class WindowReconstruction:
     lowres_codes: Optional[np.ndarray]
 
     def x_centered(self, center: int) -> np.ndarray:
-        """The reconstruction re-centered (baseline removed)."""
+        """The reconstruction re-centered; same shape as ``x_codes``."""
         return self.x_codes - center
 
 
@@ -100,11 +101,17 @@ class HybridReceiver:
         )
 
     def decode_measurements(self, packet: WindowPacket) -> np.ndarray:
-        """Measurement codes back to (centered-code-domain) values."""
-        return self.quantizer.reconstruct(packet.measurement_codes)
+        """Measurement codes back to centered-domain values, shape ``(m,)``."""
+        codes = check_shape(
+            packet.measurement_codes,
+            (self.config.n_measurements,),
+            name="measurement_codes",
+        )
+        codes = check_dtype(codes, "integer", name="measurement_codes")
+        return self.quantizer.reconstruct(codes)
 
     def decode_lowres(self, packet: WindowPacket) -> np.ndarray:
-        """The parallel path's B-bit samples from the Huffman payload."""
+        """The parallel path's B-bit samples, shape ``(n,)``, from the payload."""
         if self.codebook is None:
             raise ValueError("receiver has no codebook to decode low-res payloads")
         if packet.lowres_bit_length == 0:

@@ -75,7 +75,7 @@ class WindowFramer:
             yield window
 
     def flush(self) -> np.ndarray:
-        """Return (and clear) any buffered partial window."""
+        """Return (and clear) the buffered partial window; 1-D, possibly empty."""
         if not self._buffer:
             return np.empty(0, dtype=int)
         chunk = np.concatenate(self._buffer) if len(self._buffer) > 1 else self._buffer[0]

@@ -1,0 +1,46 @@
+"""``reprolint`` — domain-aware static analysis for the CS pipeline.
+
+Public surface: the rule framework (:class:`Rule`, :func:`register`,
+:func:`get_rules`, :func:`all_rule_ids`), the runner
+(:func:`lint_paths`, :func:`lint_source`, :func:`iter_python_files`),
+the :class:`Finding` record, and the two reporters.  Importing the
+package loads the built-in RL001–RL007 rule set into the registry.
+
+Run it as ``repro lint <paths> [--strict] [--format json]`` or through
+``make lint``.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.reprolint.core import (
+    FileContext,
+    Finding,
+    Rule,
+    all_rule_ids,
+    get_rules,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    register,
+)
+from repro.devtools.reprolint import rules as _builtin_rules  # noqa: F401
+from repro.devtools.reprolint.reporters import (
+    JSON_SCHEMA_VERSION,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rule_ids",
+    "get_rules",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "render_json",
+    "render_text",
+    "JSON_SCHEMA_VERSION",
+]

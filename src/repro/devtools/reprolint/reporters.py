@@ -1,0 +1,47 @@
+"""Finding reporters: human-readable text and machine-readable JSON.
+
+Both take the sorted finding list produced by
+:func:`repro.devtools.reprolint.core.lint_paths` and return a string;
+the CLI picks one via ``--format``.  The JSON document is versioned so
+CI consumers can detect schema changes.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Sequence
+
+from repro.devtools.reprolint.core import Finding
+
+__all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: ID message`` line per finding plus a summary."""
+    if not findings:
+        return "reprolint: no findings"
+    lines = [f.format() for f in findings]
+    files = len({f.path for f in findings})
+    by_rule = Counter(f.rule_id for f in findings)
+    breakdown = ", ".join(f"{rid}×{n}" for rid, n in sorted(by_rule.items()))
+    lines.append(
+        f"reprolint: {len(findings)} finding(s) in {files} file(s) [{breakdown}]"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """The findings as a stable, versioned JSON document."""
+    by_rule: Dict[str, int] = dict(
+        sorted(Counter(f.rule_id for f in findings).items())
+    )
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "count": len(findings),
+        "by_rule": by_rule,
+        "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -1,0 +1,422 @@
+"""The initial ``reprolint`` rule set (RL001–RL007).
+
+Every rule targets a failure mode that can corrupt this repository's
+reproduction of the DATE 2015 hybrid-CS results *without* breaking a
+test loudly: unseeded randomness shifts the Fig. 7/8 SNR curves between
+runs, silent dtype churn perturbs quantizer boundaries, a swallowed
+exception hides a solver that never converged, and an undocumented
+return shape invites the silent-broadcast class of NumPy bugs.
+
+Adding a rule: subclass :class:`~repro.devtools.reprolint.core.Rule`,
+set ``rule_id``/``title``/``rationale``, implement ``check``, decorate
+with :func:`~repro.devtools.reprolint.core.register`, and document it in
+``docs/static_analysis.md`` (the doc page lists every registered rule).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.devtools.reprolint.core import FileContext, Finding, Rule, register
+
+__all__ = [
+    "UnseededRandomRule",
+    "FloatEqualityRule",
+    "MutableDefaultRule",
+    "DunderAllRule",
+    "SilentDtypeRule",
+    "SwallowedExceptionRule",
+    "ReturnShapeDocRule",
+]
+
+
+def _dotted_name(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` as ``("a", "b", "c")``; None for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+@register
+class UnseededRandomRule(Rule):
+    """RL001: randomness must flow through an explicit Generator."""
+
+    rule_id = "RL001"
+    title = "unseeded randomness"
+    rationale = (
+        "Legacy np.random.* functions share hidden global state; any call "
+        "not routed through np.random.default_rng(seed) makes Phi, noise "
+        "draws and hence the SNR/PRD curves depend on import order."
+    )
+
+    #: Constructors that take an explicit seed and are therefore fine.
+    ALLOWED = frozenset(
+        {
+            "default_rng",
+            "Generator",
+            "RandomState",
+            "SeedSequence",
+            "BitGenerator",
+            "PCG64",
+            "PCG64DXSM",
+            "Philox",
+            "SFC64",
+            "MT19937",
+        }
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for name, node in ctx.legacy_random_imports.items():
+            if name not in self.ALLOWED:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"'from numpy.random import {name}' imports a legacy "
+                    "global-state function; use np.random.default_rng(seed)",
+                )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _dotted_name(node.func)
+            if chain is None:
+                continue
+            func = None
+            if (
+                len(chain) >= 3
+                and chain[0] in ctx.numpy_aliases
+                and chain[1] == "random"
+            ):
+                func = chain[2]
+            elif len(chain) == 2 and chain[0] in ctx.nprandom_aliases:
+                func = chain[1]
+            if func is not None and func not in self.ALLOWED:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"np.random.{func}(...) uses the hidden global RNG; "
+                    "route draws through np.random.default_rng(seed)",
+                )
+
+
+def _contains_float_literal(node: ast.AST) -> bool:
+    return any(
+        isinstance(sub, ast.Constant) and isinstance(sub.value, float)
+        for sub in ast.walk(node)
+    )
+
+
+def _is_float_operand(node: ast.AST) -> bool:
+    """True for operands that are clearly computed floats (not a 0-guard)."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float) and node.value != 0
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_operand(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _contains_float_literal(node)
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    """RL002: no exact equality against computed float values."""
+
+    rule_id = "RL002"
+    title = "float equality"
+    rationale = (
+        "Exact ==/!= on floating-point results is platform- and "
+        "optimization-order-dependent; quantizer boundaries and solver "
+        "stopping tests must use tolerances. Comparing against literal "
+        "0.0 is allowed as the conventional disabled-feature guard."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_operand(left) or _is_float_operand(right):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "exact ==/!= against a computed float; compare with "
+                        "a tolerance (np.isclose / math.isclose) instead",
+                    )
+                    break
+
+
+@register
+class MutableDefaultRule(Rule):
+    """RL003: no mutable default arguments."""
+
+    rule_id = "RL003"
+    title = "mutable default argument"
+    rationale = (
+        "A list/dict/set default is created once and shared across calls; "
+        "stateful defaults make per-window results depend on call history, "
+        "which is exactly the nondeterminism this codebase must exclude."
+    )
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+    def _is_mutable(self, node: Optional[ast.AST]) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in self._MUTABLE_CALLS
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default argument in {name}(); "
+                        "use None and create the container in the body",
+                    )
+
+
+@register
+class DunderAllRule(Rule):
+    """RL004: public modules declare a consistent ``__all__``."""
+
+    rule_id = "RL004"
+    title = "missing or inconsistent __all__"
+    rationale = (
+        "__all__ is the machine-checkable statement of a module's public "
+        "surface; without it, star-imports and API-stability checks drift "
+        "silently as helpers are added."
+    )
+
+    def _top_level_bindings(self, tree: ast.Module) -> Set[str]:
+        names: Set[str] = set()
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Name):
+                            names.add(sub.id)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                names.add(stmt.target.id)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    names.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name != "*":
+                        names.add(alias.asname or alias.name)
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                # Common guarded-import idiom: count one level down.
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, (ast.Import, ast.ImportFrom)):
+                        for alias in sub.names:
+                            if alias.name != "*":
+                                names.add(
+                                    alias.asname or alias.name.split(".")[0]
+                                )
+        return names
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        stem = ctx.path.stem
+        if stem.startswith("_") and stem != "__init__":
+            return
+        tree = ctx.tree
+        all_node: Optional[ast.Assign] = None
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in stmt.targets
+            ):
+                all_node = stmt
+        bindings = self._top_level_bindings(tree)
+        public = {n for n in bindings if not n.startswith("_")}
+        if all_node is None:
+            if public:
+                yield Finding(
+                    path=str(ctx.path),
+                    line=1,
+                    col=0,
+                    rule_id=self.rule_id,
+                    message="public module defines no __all__",
+                )
+            return
+        value = all_node.value
+        if not isinstance(value, (ast.List, ast.Tuple)) or not all(
+            isinstance(e, ast.Constant) and isinstance(e.value, str)
+            for e in value.elts
+        ):
+            yield self.finding(
+                ctx,
+                all_node,
+                "__all__ must be a literal list/tuple of strings so it can "
+                "be checked statically",
+            )
+            return
+        for elt in value.elts:
+            exported = elt.value  # type: ignore[union-attr]
+            if exported not in bindings:
+                yield self.finding(
+                    ctx,
+                    elt,
+                    f"__all__ lists {exported!r} which is not defined at "
+                    "module top level",
+                )
+
+
+@register
+class SilentDtypeRule(Rule):
+    """RL005: hot-path ``astype`` must pass an explicit ``copy=``."""
+
+    rule_id = "RL005"
+    title = "silent dtype-changing copy in hot path"
+    rationale = (
+        "astype() copies by default even when the dtype already matches; "
+        "in sensing/, recovery/ and coding/ that is a hidden per-window "
+        "allocation, and an accidental float64->float32 round-trip moves "
+        "quantizer decision boundaries. Passing copy=False makes both the "
+        "conversion and the no-op case explicit."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.is_hot_path:
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+                and not any(kw.arg == "copy" for kw in node.keywords)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "astype(...) without copy= in a hot path; pass "
+                    "copy=False to make the conversion cost explicit",
+                )
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    """RL006: no bare ``except`` and no silently-passing handlers."""
+
+    rule_id = "RL006"
+    title = "bare except / swallowed exception"
+    rationale = (
+        "A bare except hides KeyboardInterrupt and solver failures alike; "
+        "a handler whose body is just `pass` turns a non-converged BPDN "
+        "solve into a silently wrong PRD number."
+    )
+
+    @staticmethod
+    def _is_noop(stmt: ast.stmt) -> bool:
+        if isinstance(stmt, ast.Pass):
+            return True
+        return isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare 'except:' also catches KeyboardInterrupt/SystemExit; "
+                    "name the exception types",
+                )
+            elif all(self._is_noop(stmt) for stmt in node.body):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "exception handler silently swallows the error; handle, "
+                    "log, or re-raise it",
+                )
+
+
+@register
+class ReturnShapeDocRule(Rule):
+    """RL007: public array-returning functions document the shape."""
+
+    rule_id = "RL007"
+    title = "undocumented return shape"
+    rationale = (
+        "NumPy broadcasting converts shape mistakes into silently wrong "
+        "numbers; the only cheap defense is that every public function "
+        "annotated to return an ndarray states the returned shape (or "
+        "dimensionality) in its docstring."
+    )
+
+    _SHAPE_WORDS = re.compile(
+        r"shape|scalar|[12]-d\b|same\s+(shape|length)|\(\s*[mnk]\b|length\s+``?[mnk]",
+        re.IGNORECASE,
+    )
+
+    def _returns_ndarray(self, ctx: FileContext, node: ast.AST) -> bool:
+        returns = getattr(node, "returns", None)
+        if returns is None:
+            return False
+        if isinstance(returns, ast.Constant) and isinstance(returns.value, str):
+            return "ndarray" in returns.value
+        chain = _dotted_name(returns)
+        if chain is None:
+            return False
+        if chain[-1] != "ndarray":
+            return False
+        return len(chain) == 1 or chain[0] in ctx.numpy_aliases | {"numpy"}
+
+    def _public_functions(
+        self, body: List[ast.stmt]
+    ) -> Iterator[ast.FunctionDef]:
+        """Functions at module/class level; nested helpers are not API."""
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield stmt  # type: ignore[misc]
+            elif isinstance(stmt, (ast.ClassDef, ast.If, ast.Try)):
+                yield from self._public_functions(stmt.body)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in self._public_functions(ctx.tree.body):
+            if node.name.startswith("_"):
+                continue
+            if not self._returns_ndarray(ctx, node):
+                continue
+            doc = ast.get_docstring(node)
+            if doc is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{node.name}() returns an ndarray but has no docstring "
+                    "documenting the shape",
+                )
+            elif not self._SHAPE_WORDS.search(doc):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{node.name}() returns an ndarray but its docstring "
+                    "does not document the returned shape",
+                )

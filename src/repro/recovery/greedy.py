@@ -104,7 +104,7 @@ def solve_cosamp(
     for iterations in range(1, max_iter + 1):
         proxy = np.abs(a.T @ residual)
         omega = np.argsort(proxy)[::-1][: 2 * k]
-        candidate = np.union1d(omega, np.nonzero(alpha)[0]).astype(int)
+        candidate = np.union1d(omega, np.nonzero(alpha)[0]).astype(int, copy=False)
         coef = _ls_on_support(a, y, candidate)
         # Prune to the k largest.
         keep = np.argsort(np.abs(coef))[::-1][:k]

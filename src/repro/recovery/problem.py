@@ -12,6 +12,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.devtools.contracts import check_finite, check_shape
 from repro.sensing.matrices import operator_norm
 from repro.wavelets.operators import SynthesisBasis
 
@@ -38,6 +39,7 @@ class CsProblem:
         phi = np.asarray(phi, dtype=float)
         if phi.ndim != 2:
             raise ValueError("phi must be a 2-D matrix")
+        phi = check_finite(phi, name="phi")
         if phi.shape[1] != basis.n:
             raise ValueError(
                 f"phi has {phi.shape[1]} columns but the basis length is {basis.n}"
@@ -60,14 +62,14 @@ class CsProblem:
 
     @property
     def psi(self) -> np.ndarray:
-        """The dense synthesis matrix Ψ (built lazily, cached)."""
+        """The dense synthesis matrix Ψ, shape ``(n, n)`` (built lazily)."""
         if self._psi is None:
             self._psi = self.basis.as_matrix()
         return self._psi
 
     @property
     def a(self) -> np.ndarray:
-        """The dense composed operator ``A = Φ Ψ`` (built lazily)."""
+        """The dense composed operator ``A = Φ Ψ``, shape ``(m, n)`` (lazy)."""
         if self._a is None:
             self._a = self.phi @ self.psi
         return self._a
@@ -79,17 +81,21 @@ class CsProblem:
         return self._opnorm_sq
 
     def forward(self, alpha: np.ndarray) -> np.ndarray:
-        """``A alpha``."""
-        return self.a @ alpha
+        """``A alpha``: coefficients of shape ``(n,)`` to measurements ``(m,)``."""
+        return self.a @ check_shape(alpha, (self.n,), name="alpha")
 
     def adjoint(self, z: np.ndarray) -> np.ndarray:
-        """``A^T z``."""
-        return self.a.T @ z
+        """``A^T z``: measurements of shape ``(m,)`` to coefficients ``(n,)``."""
+        return self.a.T @ check_shape(z, (self.m,), name="z")
 
     def measure_signal(self, x: np.ndarray) -> np.ndarray:
-        """Direct measurement of a signal window: ``Φ x``."""
-        return self.phi @ np.asarray(x, dtype=float)
+        """Direct measurement of a signal window: ``Φ x``, shape ``(m,)``."""
+        return self.phi @ check_shape(
+            np.asarray(x, dtype=float), (self.n,), name="x"
+        )
 
     def least_squares_init(self, y: np.ndarray) -> np.ndarray:
-        """Cheap warm start: ``A^T y`` (matched filter in coefficient space)."""
-        return self.adjoint(np.asarray(y, dtype=float))
+        """Cheap warm start ``A^T y``, shape ``(n,)`` (matched filter)."""
+        return self.adjoint(
+            check_finite(np.asarray(y, dtype=float), name="y")
+        )

@@ -21,7 +21,7 @@ __all__ = [
 def soft_threshold(v: np.ndarray, threshold: float) -> np.ndarray:
     """Soft-thresholding ``sign(v) * max(|v| - threshold, 0)``.
 
-    The proximal operator of ``threshold * ||.||_1``.
+    The proximal operator of ``threshold * ||.||_1``; same shape as ``v``.
     """
     if threshold < 0:
         raise ValueError("threshold cannot be negative")
@@ -37,7 +37,8 @@ prox_l1 = soft_threshold
 def project_l2_ball(
     v: np.ndarray, center: np.ndarray, radius: float
 ) -> np.ndarray:
-    """Euclidean projection onto ``{z : ||z - center||_2 <= radius}``."""
+    """Euclidean projection onto the ball ``||z - center||_2 <= radius``;
+    same shape as ``z``."""
     if radius < 0:
         raise ValueError("radius cannot be negative")
     arr = np.asarray(v, dtype=float)

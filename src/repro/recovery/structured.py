@@ -147,7 +147,7 @@ def solve_reweighted_hybrid(
 
 
 def wavelet_tree_parents(n: int, levels: int) -> np.ndarray:
-    """Parent index of every flat wavelet coefficient (-1 = root level).
+    """Parent index of each flat coefficient, shape ``(n,)`` (-1 = root).
 
     Layout follows :func:`repro.wavelets.dwt.coeff_slices`:
     ``[a_J | d_J | d_{J-1} | ... | d_1]``.  Approximation coefficients and
@@ -176,7 +176,7 @@ def tree_project(
     Selects coefficients in decreasing magnitude, admitting one only when
     its parent chain is already selected (roots are always admissible);
     passes over the candidate list until ``k`` are kept or no admissible
-    candidate remains.  Returns ``alpha`` with the complement zeroed.
+    candidate remains.  Returns ``alpha`` with the complement zeroed (same shape).
     """
     alpha = np.asarray(alpha, dtype=float)
     if alpha.shape != parents.shape:

@@ -52,13 +52,13 @@ def bernoulli_matrix(
     _check_shape(m, n)
     rng = rng or np.random.default_rng(seed)
     signs = rng.integers(0, 2, size=(m, n)) * 2 - 1
-    return signs.astype(float) / np.sqrt(m)
+    return signs.astype(float, copy=False) / np.sqrt(m)
 
 
 def gaussian_matrix(
     m: int, n: int, *, seed: Optional[int] = None, rng: Optional[np.random.Generator] = None
 ) -> np.ndarray:
-    """i.i.d. ``N(0, 1/m)`` Gaussian ensemble."""
+    """i.i.d. ``N(0, 1/m)`` Gaussian ensemble, shape ``(m, n)``."""
     _check_shape(m, n)
     rng = rng or np.random.default_rng(seed)
     return rng.standard_normal((m, n)) / np.sqrt(m)
@@ -72,7 +72,7 @@ def sparse_binary_matrix(
     seed: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
 ) -> np.ndarray:
-    """Sparse binary ensemble: ``d`` ones per column, rest zero.
+    """Sparse binary ensemble, shape ``(m, n)``: ``d`` ones per column.
 
     The hardware-friendly ensemble of Mamaghanian et al. (TBME 2011): each
     column has exactly ``nonzeros_per_column`` ones at uniformly random row
@@ -115,7 +115,7 @@ def subsampled_hadamard_matrix(
     rng = rng or np.random.default_rng(seed)
     from scipy.linalg import hadamard
 
-    full = hadamard(n).astype(float)
+    full = hadamard(n).astype(float, copy=False)
     rows = rng.choice(n, size=m, replace=False)
     signs = rng.integers(0, 2, size=n) * 2 - 1
     return full[rows] * signs[None, :] / np.sqrt(m)
@@ -130,7 +130,7 @@ def make_matrix(
     nonzeros_per_column: int = 12,
 ) -> np.ndarray:
     """Build a named ensemble: ``"bernoulli"``, ``"gaussian"``,
-    ``"sparse_binary"`` or ``"hadamard"``."""
+    ``"sparse_binary"`` or ``"hadamard"``; returns shape ``(m, n)``."""
     key = kind.strip().lower()
     if key == "bernoulli":
         return bernoulli_matrix(m, n, seed=seed)
@@ -195,7 +195,7 @@ class SensingSpec:
     nonzeros_per_column: int = 12
 
     def build(self, m: int, n: int) -> np.ndarray:
-        """Materialize the m x n measurement matrix."""
+        """Materialize the measurement matrix, shape ``(m, n)``."""
         return make_matrix(
             self.kind,
             m,

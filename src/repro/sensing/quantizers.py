@@ -35,7 +35,7 @@ __all__ = [
 def requantize_codes(
     codes: np.ndarray, from_bits: int, to_bits: int
 ) -> np.ndarray:
-    """Drop resolution of integer ADC codes from ``from_bits`` to ``to_bits``.
+    """Drop integer ADC codes from ``from_bits`` to ``to_bits`` (same shape).
 
     Keeps the ``to_bits`` most-significant bits (floor division by
     ``2**(from_bits - to_bits)``), exactly what a lower-resolution converter
@@ -59,7 +59,7 @@ def requantize_codes(
 def dequantize_codes(
     lowres_codes: np.ndarray, from_bits: int, to_bits: int
 ) -> np.ndarray:
-    """Map low-resolution codes back to the high-resolution code grid.
+    """Map low-res codes back to the high-res code grid (same shape).
 
     Returns the *lower edge* of each quantization cell (the ``x_dot`` of
     Eq. 1); the cell width is ``2**(from_bits - to_bits)`` high-res codes.
@@ -84,7 +84,7 @@ def lowres_bounds(
     high-res code grid, ready to feed the solver after the same affine
     code-to-physical mapping as the signal.
     """
-    lower = dequantize_codes(lowres_codes, from_bits, to_bits).astype(float)
+    lower = dequantize_codes(lowres_codes, from_bits, to_bits).astype(float, copy=False)
     step = float(1 << (from_bits - to_bits))
     upper = lower + step - 1.0
     return lower, upper
@@ -125,20 +125,20 @@ class UniformQuantizer:
         return 2.0 * self.full_scale / self.levels
 
     def quantize(self, x: np.ndarray) -> np.ndarray:
-        """Analog values to integer codes in ``[0, 2**bits - 1]``."""
+        """Analog values to integer codes in ``[0, 2**bits - 1]`` (same shape)."""
         arr = np.asarray(x, dtype=float)
         codes = np.floor((arr + self.full_scale) / self.step)
-        return np.clip(codes, 0, self.levels - 1).astype(np.int64)
+        return np.clip(codes, 0, self.levels - 1).astype(np.int64, copy=False)
 
     def reconstruct(self, codes: np.ndarray) -> np.ndarray:
-        """Integer codes back to cell-midpoint analog values."""
+        """Integer codes back to cell-midpoint analog values (same shape)."""
         arr = np.asarray(codes)
         if arr.size and (arr.min() < 0 or arr.max() >= self.levels):
             raise ValueError("codes out of range")
-        return (arr.astype(float) + 0.5) * self.step - self.full_scale
+        return (arr.astype(float, copy=False) + 0.5) * self.step - self.full_scale
 
     def quantize_reconstruct(self, x: np.ndarray) -> np.ndarray:
-        """Round-trip: the quantized-and-decoded version of ``x``."""
+        """Round-trip: the quantized-and-decoded ``x`` (same shape)."""
         return self.reconstruct(self.quantize(x))
 
 

@@ -23,6 +23,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.devtools.contracts import check_finite, check_shape
 from repro.sensing.quantizers import UniformQuantizer, measurement_quantizer
 
 __all__ = ["RmpiNonidealities", "RmpiBank"]
@@ -111,7 +112,7 @@ class RmpiBank:
         self.nonidealities = nonidealities
         rng = np.random.default_rng(seed)
         # ±1 chipping signs, one row per channel, one column per chip.
-        self._chips = (rng.integers(0, 2, size=(m, n)) * 2 - 1).astype(float)
+        self._chips = (rng.integers(0, 2, size=(m, n)) * 2 - 1).astype(float, copy=False)
         mis_rng = np.random.default_rng(nonidealities.seed)
         self._gains = 1.0 + nonidealities.gain_mismatch_sigma * mis_rng.standard_normal(m)
         self._noise_rng = np.random.default_rng(nonidealities.seed + 1)
@@ -121,7 +122,7 @@ class RmpiBank:
 
     @property
     def chips(self) -> np.ndarray:
-        """The ±1 chipping sign matrix (read-only view)."""
+        """The ±1 chipping sign matrix, shape ``(m, n)`` (read-only view)."""
         view = self._chips.view()
         view.flags.writeable = False
         return view
@@ -156,12 +157,11 @@ class RmpiBank:
         Returns
         -------
         numpy.ndarray
-            ``m`` measurements.  With ideal settings and no ADC these equal
-            ``equivalent_matrix() @ x`` exactly.
+            ``m`` measurements, shape ``(m,)``; with ideal settings and no ADC
+            these equal ``equivalent_matrix() @ x`` exactly.
         """
-        arr = np.asarray(x, dtype=float)
-        if arr.ndim != 1 or arr.size != self.n:
-            raise ValueError(f"expected a window of {self.n} samples")
+        arr = check_shape(np.asarray(x, dtype=float), (self.n,), name="x")
+        arr = check_finite(arr, name="x")
         nid = self.nonidealities
         mixed = self._chips * arr[None, :]
         if nid.input_noise_rms > 0:

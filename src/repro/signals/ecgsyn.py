@@ -160,7 +160,7 @@ def rr_tachogram(
     Returns
     -------
     numpy.ndarray
-        ``n_samples`` RR values in seconds, strictly positive.
+        RR values in seconds, shape ``(n_samples,)``, strictly positive.
     """
     if n_samples <= 0:
         raise ValueError("n_samples must be positive")
@@ -250,7 +250,7 @@ def synthesize_ecg(
     Returns
     -------
     numpy.ndarray
-        ``round(duration_s * fs_hz)`` float samples in millivolts.
+        Millivolt samples, shape ``(round(duration_s * fs_hz),)``.
     """
     if duration_s <= 0:
         raise ValueError("duration_s must be positive")
@@ -307,7 +307,7 @@ def integrate_reference(
     Deterministic (fixed heart rate, no HRV) and slow; exists so the test
     suite can validate the fast phase-domain integrator against the genuine
     dynamical system.  A warm-up interval is integrated and discarded so
-    the returned waveform starts on the settled limit cycle.  Returns the
+    the returned waveform starts on the settled limit cycle.  Returns the 1-D
     waveform in millivolts.
     """
     if duration_s <= 0 or fs_hz <= 0:

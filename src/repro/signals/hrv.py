@@ -20,7 +20,7 @@ __all__ = ["rr_intervals", "HrvSummary", "hrv_summary", "lf_hf_ratio"]
 
 
 def rr_intervals(beat_samples: Sequence[int], fs_hz: float) -> np.ndarray:
-    """RR intervals in seconds from beat sample indices."""
+    """RR intervals in seconds from beat sample indices (1-D output)."""
     if fs_hz <= 0:
         raise ValueError("fs must be positive")
     samples = np.asarray(sorted(int(s) for s in beat_samples), dtype=np.int64)

@@ -44,7 +44,7 @@ def baseline_wander(
     cutoff_hz: float = 0.5,
     rng: Optional[np.random.Generator] = None,
 ) -> np.ndarray:
-    """Low-frequency baseline drift (respiration, electrode impedance).
+    """Low-frequency baseline drift (respiration, electrode drift); 1-D.
 
     Generated as white noise low-pass filtered below ``cutoff_hz`` and
     rescaled to the requested RMS amplitude.
@@ -73,7 +73,7 @@ def powerline_interference(
     harmonic_fraction: float = 0.2,
     phase_rad: float = 0.0,
 ) -> np.ndarray:
-    """Mains hum at ``mains_hz`` plus a weaker third harmonic."""
+    """Mains hum at ``mains_hz`` plus a weaker third harmonic (1-D)."""
     n = _check(duration_s, fs_hz)
     t = np.arange(n) / fs_hz
     fundamental = np.sin(2.0 * np.pi * mains_hz * t + phase_rad)
@@ -89,7 +89,7 @@ def muscle_artifact(
     band_hz: tuple = (20.0, 120.0),
     rng: Optional[np.random.Generator] = None,
 ) -> np.ndarray:
-    """EMG-like broadband noise, band-passed to the muscle-activity band.
+    """EMG-like 1-D broadband noise in the muscle-activity band.
 
     The upper band edge is clipped below Nyquist automatically so the model
     also works at low sampling rates.
@@ -117,7 +117,7 @@ def electrode_motion(
     decay_s: float = 0.3,
     rng: Optional[np.random.Generator] = None,
 ) -> np.ndarray:
-    """Sparse electrode-motion transients: random exponential-decay bumps."""
+    """Sparse electrode-motion transients: exponential bumps (1-D)."""
     n = _check(duration_s, fs_hz)
     rng = rng or np.random.default_rng()
     out = np.zeros(n)
@@ -141,7 +141,7 @@ def white_noise(
     amplitude_mv: float = 0.005,
     rng: Optional[np.random.Generator] = None,
 ) -> np.ndarray:
-    """Flat instrumentation noise at the given RMS amplitude."""
+    """Flat instrumentation noise at the given RMS amplitude (1-D)."""
     n = _check(duration_s, fs_hz)
     rng = rng or np.random.default_rng()
     return amplitude_mv * rng.standard_normal(n)
@@ -166,7 +166,7 @@ class NoiseProfile:
     def render(
         self, duration_s: float, fs_hz: float, rng: np.random.Generator
     ) -> np.ndarray:
-        """Generate the summed noise waveform for this profile."""
+        """Generate the summed 1-D noise waveform for this profile."""
         n = _check(duration_s, fs_hz)
         total = np.zeros(n)
         if self.baseline_mv > 0:

@@ -19,6 +19,8 @@ from __future__ import annotations
 import numpy as np
 from scipy import signal as sps
 
+from repro.devtools.contracts import array_contract
+
 __all__ = ["remove_baseline", "notch_mains", "clean"]
 
 
@@ -31,10 +33,11 @@ def _check(x: np.ndarray, fs_hz: float) -> np.ndarray:
     return arr
 
 
+@array_contract(x=dict(ndim=1, finite=True))
 def remove_baseline(
     x: np.ndarray, fs_hz: float, cutoff_hz: float = 0.5, order: int = 4
 ) -> np.ndarray:
-    """Zero-phase high-pass to remove baseline wander.
+    """Zero-phase high-pass to remove baseline wander; same shape as ``x``.
 
     Parameters
     ----------
@@ -59,10 +62,11 @@ def remove_baseline(
     return sps.sosfiltfilt(sos, arr)
 
 
+@array_contract(x=dict(ndim=1, finite=True))
 def notch_mains(
     x: np.ndarray, fs_hz: float, mains_hz: float = 60.0, q_factor: float = 30.0
 ) -> np.ndarray:
-    """Zero-phase IIR notch at the mains frequency.
+    """Zero-phase IIR notch at the mains frequency; same shape as ``x``.
 
     ``q_factor`` sets the notch width (center / -3 dB bandwidth); 30 gives
     a ~2 Hz notch at 60 Hz.
@@ -84,6 +88,6 @@ def clean(
     mains_hz: float = 60.0,
 ) -> np.ndarray:
     """Baseline removal followed by a mains notch (standard front-end
-    display chain)."""
+    display chain); same shape as the input."""
     out = remove_baseline(x, fs_hz, baseline_cutoff_hz)
     return notch_mains(out, fs_hz, mains_hz)

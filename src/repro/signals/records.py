@@ -60,12 +60,12 @@ class RecordHeader:
         return self.adc_levels / self.adc_gain
 
     def mv_to_adu(self, millivolts: np.ndarray) -> np.ndarray:
-        """Convert physical millivolts to (clipped, rounded) ADC units."""
+        """Millivolts to clipped, rounded ADC units; same shape as the input."""
         adu = np.round(np.asarray(millivolts, dtype=float) * self.adc_gain) + self.adc_zero
         return np.clip(adu, 0, self.adc_levels - 1).astype(np.int64)
 
     def adu_to_mv(self, adu: np.ndarray) -> np.ndarray:
-        """Convert ADC units back to physical millivolts."""
+        """ADC units back to physical millivolts; same shape as ``adu``."""
         return (np.asarray(adu, dtype=float) - self.adc_zero) / self.adc_gain
 
 
@@ -128,11 +128,11 @@ class Record:
         return len(self) / self.header.fs_hz
 
     def signal_mv(self) -> np.ndarray:
-        """The waveform in physical millivolts (float array)."""
+        """The waveform in physical millivolts (1-D float array)."""
         return self.header.adu_to_mv(self.adu)
 
     def time_axis(self) -> np.ndarray:
-        """Sample times in seconds."""
+        """Sample times in seconds; 1-D, one entry per sample."""
         return np.arange(len(self)) / self.header.fs_hz
 
     def windows(

@@ -81,7 +81,7 @@ def pack_212(samples: np.ndarray) -> bytes:
 
 
 def unpack_212(data: bytes, n_samples: int) -> np.ndarray:
-    """Inverse of :func:`pack_212`: the first ``n_samples`` samples."""
+    """Inverse of :func:`pack_212`: the first ``n_samples`` samples, 1-D."""
     if n_samples < 0:
         raise ValueError("n_samples cannot be negative")
     raw = np.frombuffer(data, dtype=np.uint8)

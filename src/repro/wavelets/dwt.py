@@ -93,7 +93,7 @@ def idwt_step(
     approx: np.ndarray, detail: np.ndarray, wav: Union[str, WaveletFilter]
 ) -> np.ndarray:
     """One level of the periodized synthesis transform (inverse of
-    :func:`dwt_step`)."""
+    :func:`dwt_step`); 1-D, twice the subband length."""
     filt = _resolve(wav)
     a = np.asarray(approx, dtype=float)
     d = np.asarray(detail, dtype=float)
@@ -154,7 +154,7 @@ class WaveletCoeffs:
         return int(self.approx.size + sum(d.size for d in self.details))
 
     def flatten(self) -> np.ndarray:
-        """Concatenate into the flat ``[a_J | d_J | ... | d_1]`` vector."""
+        """Concatenate into the flat ``[a_J | d_J | ... | d_1]`` vector, shape ``(n,)``."""
         return np.concatenate([self.approx, *self.details])
 
     @staticmethod
@@ -225,7 +225,7 @@ def wavedec(
 
 def waverec(coeffs: WaveletCoeffs) -> np.ndarray:
     """Multilevel periodized synthesis transform (inverse of
-    :func:`wavedec`)."""
+    :func:`wavedec`); returns the 1-D signal."""
     filt = _resolve(coeffs.wavelet_name)
     x = np.asarray(coeffs.approx, dtype=float)
     for detail in coeffs.details:

@@ -199,7 +199,7 @@ def quadrature_mirror(rec_lo: np.ndarray) -> np.ndarray:
     """Wavelet (high-pass) filter from a scaling filter.
 
     ``g[n] = (-1)**n * h[L-1-n]`` — the alternating-flip construction that
-    makes ``(h, g)`` an orthonormal filter pair.
+    makes ``(h, g)`` an orthonormal filter pair; same length as ``h``.
     """
     h = np.asarray(rec_lo, dtype=float)
     if h.ndim != 1 or h.size < 2 or h.size % 2:

@@ -58,11 +58,11 @@ class SynthesisBasis(abc.ABC):
 
     @abc.abstractmethod
     def synthesize(self, alpha: np.ndarray) -> np.ndarray:
-        """Map coefficients ``alpha`` to signal samples ``x = Ψ alpha``."""
+        """Map coefficients ``alpha`` to samples ``x = Ψ alpha``; both shape ``(n,)``."""
 
     @abc.abstractmethod
     def analyze(self, x: np.ndarray) -> np.ndarray:
-        """Map signal samples to coefficients ``alpha = Ψ^T x``."""
+        """Map samples to coefficients ``alpha = Ψ^T x``; both shape ``(n,)``."""
 
     @property
     @abc.abstractmethod
@@ -76,7 +76,7 @@ class SynthesisBasis(abc.ABC):
         return arr
 
     def as_matrix(self) -> np.ndarray:
-        """Dense ``n x n`` matrix of the synthesis map (columns are atoms)."""
+        """Dense synthesis matrix, shape ``(n, n)`` (columns are atoms)."""
         eye = np.eye(self._n)
         cols = [self.synthesize(eye[:, j]) for j in range(self._n)]
         return np.stack(cols, axis=1)
@@ -140,9 +140,11 @@ class WaveletBasis(SynthesisBasis):
         return self._filter.name
 
     def analyze(self, x: np.ndarray) -> np.ndarray:
+        """Flat DWT coefficients ``Ψ^T x``, shape ``(n,)``."""
         return wavedec(self._check_vec(x), self._filter, self._levels).flatten()
 
     def synthesize(self, alpha: np.ndarray) -> np.ndarray:
+        """Signal from the flat coefficient vector, shape ``(n,)``."""
         coeffs = WaveletCoeffs.from_flat(
             self._check_vec(alpha), self._n, self._levels, self._filter.name
         )
@@ -164,9 +166,11 @@ class DctBasis(SynthesisBasis):
         return "dct"
 
     def analyze(self, x: np.ndarray) -> np.ndarray:
+        """DCT-II coefficients of ``x``, shape ``(n,)``."""
         return _dct(self._check_vec(x), type=2, norm="ortho")
 
     def synthesize(self, alpha: np.ndarray) -> np.ndarray:
+        """Signal from DCT coefficients, shape ``(n,)``."""
         return _idct(self._check_vec(alpha), type=2, norm="ortho")
 
 
@@ -178,9 +182,11 @@ class IdentityBasis(SynthesisBasis):
         return "identity"
 
     def analyze(self, x: np.ndarray) -> np.ndarray:
+        """A copy of ``x`` (Ψ = I), shape ``(n,)``."""
         return self._check_vec(x).copy()
 
     def synthesize(self, alpha: np.ndarray) -> np.ndarray:
+        """A copy of ``alpha`` (Ψ = I), shape ``(n,)``."""
         return self._check_vec(alpha).copy()
 
 

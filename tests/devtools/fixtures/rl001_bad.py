@@ -1,0 +1,19 @@
+"""RL001 positive fixture: legacy global-RNG usage."""
+
+import numpy as np
+from numpy.random import randn
+
+__all__ = ["draw", "shuffle_in_place"]
+
+
+def draw(n):
+    """Unseeded module-level draws (both forms must be flagged)."""
+    a = np.random.rand(n)
+    b = np.random.normal(size=n)
+    return a + b + randn(n)
+
+
+def shuffle_in_place(items):
+    """Global-state shuffle."""
+    np.random.shuffle(items)
+    np.random.seed(0)

@@ -1,0 +1,12 @@
+"""RL001 negative fixture: all randomness through explicit generators."""
+
+import numpy as np
+
+__all__ = ["draw"]
+
+
+def draw(n, seed=0):
+    """Seeded, generator-routed draws."""
+    rng = np.random.default_rng(seed)
+    legacy_but_seeded = np.random.RandomState(seed)
+    return rng.standard_normal(n) + legacy_but_seeded.rand(n)

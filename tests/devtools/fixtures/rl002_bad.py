@@ -1,0 +1,11 @@
+"""RL002 positive fixture: exact equality on computed floats."""
+
+__all__ = ["close_enough"]
+
+
+def close_enough(x, y):
+    """Both operand orders and arithmetic results must be flagged."""
+    a = x == 0.1
+    b = 2.5 != y
+    c = (x * 0.5 + 1.0) == y
+    return a or b or c

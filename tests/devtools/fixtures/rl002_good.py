@@ -1,0 +1,11 @@
+"""RL002 negative fixture: zero-guards and integer equality are fine."""
+
+__all__ = ["guards"]
+
+
+def guards(x, n):
+    """Literal-zero guards and int compares are conventional."""
+    a = x == 0.0
+    b = x != 0.0
+    c = n == 3
+    return a or b or c

@@ -1,0 +1,20 @@
+"""RL003 positive fixture: mutable default arguments."""
+
+__all__ = ["collect", "index", "tag"]
+
+
+def collect(item, bucket=[]):
+    """List default."""
+    bucket.append(item)
+    return bucket
+
+
+def index(key, table={}):
+    """Dict default."""
+    return table.setdefault(key, len(table))
+
+
+def tag(name, seen=set()):
+    """set() call default."""
+    seen.add(name)
+    return seen

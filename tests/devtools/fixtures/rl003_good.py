@@ -1,0 +1,11 @@
+"""RL003 negative fixture: None sentinel and immutable defaults."""
+
+__all__ = ["collect"]
+
+
+def collect(item, bucket=None, limit=10, label=""):
+    """The conventional None-sentinel idiom."""
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket[:limit], label

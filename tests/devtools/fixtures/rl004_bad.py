@@ -1,0 +1,6 @@
+"""RL004 positive fixture: public module without __all__."""
+
+
+def public_helper():
+    """A public name that is exported implicitly."""
+    return 1

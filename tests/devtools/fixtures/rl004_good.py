@@ -1,0 +1,10 @@
+"""RL004 negative fixture: consistent literal __all__."""
+
+__all__ = ["exported"]
+
+_PRIVATE = 3
+
+
+def exported():
+    """The declared public surface."""
+    return _PRIVATE

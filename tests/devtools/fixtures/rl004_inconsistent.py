@@ -1,0 +1,8 @@
+"""RL004 positive fixture: __all__ names something undefined."""
+
+__all__ = ["real_function", "ghost_function"]
+
+
+def real_function():
+    """Defined and exported."""
+    return 1

@@ -1,0 +1,10 @@
+"""RL005 negative fixture: astype outside the hot packages is fine."""
+
+import numpy as np
+
+__all__ = ["to_float"]
+
+
+def to_float(codes):
+    """Not in sensing/, recovery/ or coding/, so not flagged."""
+    return np.asarray(codes).astype(float)

@@ -1,0 +1,20 @@
+"""RL006 positive fixture: bare except and a swallowed handler."""
+
+__all__ = ["risky", "swallow"]
+
+
+def risky(fn):
+    """Bare except."""
+    try:
+        return fn()
+    except:
+        return None
+
+
+def swallow(fn):
+    """Handler that silently drops the error."""
+    try:
+        return fn()
+    except ValueError:
+        pass
+    return None

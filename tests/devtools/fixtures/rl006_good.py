@@ -1,0 +1,12 @@
+"""RL006 negative fixture: typed handlers that act on the error."""
+
+__all__ = ["handled"]
+
+
+def handled(fn, log):
+    """Handle, record, or re-raise."""
+    try:
+        return fn()
+    except ValueError as exc:
+        log.append(str(exc))
+        raise

@@ -1,0 +1,14 @@
+"""RL007 positive fixture: array returns with undocumented shape."""
+
+import numpy as np
+
+__all__ = ["no_doc", "vague_doc"]
+
+
+def no_doc(n: int) -> np.ndarray:
+    return np.zeros(n)
+
+
+def vague_doc(n: int) -> np.ndarray:
+    """Some zeros."""
+    return np.zeros(n)

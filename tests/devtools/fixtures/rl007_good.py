@@ -1,0 +1,33 @@
+"""RL007 negative fixture: shapes documented, helpers exempt."""
+
+import numpy as np
+
+__all__ = ["documented", "same_shape", "not_an_array"]
+
+
+def documented(n: int) -> np.ndarray:
+    """Zeros of shape ``(n,)``."""
+    return np.zeros(n)
+
+
+def same_shape(x) -> np.ndarray:
+    """Doubles ``x``; same shape as the input."""
+    return 2 * np.asarray(x)
+
+
+def not_an_array(n: int) -> int:
+    """No ndarray annotation, so no shape demanded."""
+    return n
+
+
+def _private(n: int) -> np.ndarray:
+    return np.zeros(n)
+
+
+def outer(n: int) -> int:
+    """Nested helpers are not public API."""
+
+    def inner(k: int) -> np.ndarray:
+        return np.zeros(k)
+
+    return inner(n).size

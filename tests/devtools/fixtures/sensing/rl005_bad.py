@@ -1,0 +1,10 @@
+"""RL005 positive fixture: hot-path astype without copy=."""
+
+import numpy as np
+
+__all__ = ["to_float"]
+
+
+def to_float(codes):
+    """Silent potential copy in a hot path."""
+    return np.asarray(codes).astype(float)

@@ -1,0 +1,10 @@
+"""RL005 negative fixture: hot-path astype with explicit copy=."""
+
+import numpy as np
+
+__all__ = ["to_float"]
+
+
+def to_float(codes):
+    """Explicit about the conversion cost."""
+    return np.asarray(codes).astype(float, copy=False)

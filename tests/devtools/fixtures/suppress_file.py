@@ -1,0 +1,20 @@
+"""Suppression fixture: file-wide disable.
+
+# reprolint: disable-file=RL001 -- this whole module exercises legacy RNG paths
+"""
+
+# reprolint: disable-file=RL001 -- module exists to exercise legacy RNG paths
+
+import numpy as np
+
+__all__ = ["one", "two"]
+
+
+def one(n):
+    """Suppressed by the file-wide disable."""
+    return np.random.rand(n)
+
+
+def two(n):
+    """Also suppressed."""
+    return np.random.normal(size=n)

@@ -1,0 +1,16 @@
+"""Suppression fixture: per-line disables with justifications."""
+
+import numpy as np
+
+__all__ = ["legacy_draw", "still_flagged"]
+
+
+def legacy_draw(n):
+    """The draw below is part of a seeded-vs-legacy comparison test."""
+    a = np.random.rand(n)  # reprolint: disable=RL001 -- exercising the legacy path on purpose
+    return a
+
+
+def still_flagged(n):
+    """No suppression here, so RL001 must still fire."""
+    return np.random.rand(n)

@@ -1,0 +1,96 @@
+"""Per-rule positive/negative fixture tests for the reprolint rule set."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.reprolint import (
+    all_rule_ids,
+    get_rules,
+    lint_paths,
+    lint_source,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: rule id -> (positive fixture, expected minimum findings, negative fixture)
+CASES = {
+    "RL001": ("rl001_bad.py", 5, "rl001_good.py"),
+    "RL002": ("rl002_bad.py", 3, "rl002_good.py"),
+    "RL003": ("rl003_bad.py", 3, "rl003_good.py"),
+    "RL004": ("rl004_bad.py", 1, "rl004_good.py"),
+    "RL005": ("sensing/rl005_bad.py", 1, "sensing/rl005_good.py"),
+    "RL006": ("rl006_bad.py", 2, "rl006_good.py"),
+    "RL007": ("rl007_bad.py", 2, "rl007_good.py"),
+}
+
+
+def rule_findings(path, rule_id):
+    return [f for f in lint_paths([path]) if f.rule_id == rule_id]
+
+
+class TestRegistry:
+    def test_all_builtin_rules_registered(self):
+        assert all_rule_ids() == [f"RL00{i}" for i in range(1, 8)]
+
+    def test_select_and_ignore(self):
+        assert [r.rule_id for r in get_rules(select=["rl001"])] == ["RL001"]
+        assert "RL002" not in [
+            r.rule_id for r in get_rules(ignore=["RL002"])
+        ]
+        with pytest.raises(ValueError, match="unknown rule"):
+            get_rules(select=["RL999"])
+
+    def test_rules_carry_metadata(self):
+        for rule in get_rules():
+            assert rule.title
+            assert rule.rationale
+
+
+@pytest.mark.parametrize("rule_id", sorted(CASES))
+class TestFixtures:
+    def test_positive_fixture_fires(self, rule_id):
+        bad, minimum, _ = CASES[rule_id]
+        found = rule_findings(FIXTURES / bad, rule_id)
+        assert len(found) >= minimum, [f.format() for f in found]
+        for f in found:
+            assert f.line > 0
+            assert f.message
+
+    def test_negative_fixture_clean(self, rule_id):
+        _, _, good = CASES[rule_id]
+        found = rule_findings(FIXTURES / good, rule_id)
+        assert found == [], [f.format() for f in found]
+
+
+class TestRuleDetails:
+    def test_rl001_flags_legacy_import(self):
+        found = rule_findings(FIXTURES / "rl001_bad.py", "RL001")
+        assert any("import" in f.message for f in found)
+
+    def test_rl004_inconsistent_all(self):
+        found = rule_findings(FIXTURES / "rl004_inconsistent.py", "RL004")
+        assert len(found) == 1
+        assert "ghost_function" in found[0].message
+
+    def test_rl005_only_in_hot_paths(self):
+        assert rule_findings(FIXTURES / "rl005_cold_path.py", "RL005") == []
+
+    def test_rl000_on_syntax_error(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        found = lint_paths([broken])
+        assert [f.rule_id for f in found] == ["RL000"]
+
+    def test_lint_source_direct(self):
+        findings = lint_source(
+            "import numpy as np\nx = np.random.rand(4)\n",
+            Path("inline.py"),
+            get_rules(select=["RL001"]),
+        )
+        assert [f.rule_id for f in findings] == ["RL001"]
+        assert findings[0].line == 2
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            lint_paths([Path("does/not/exist")])

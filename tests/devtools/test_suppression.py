@@ -1,0 +1,73 @@
+"""Suppression-comment syntax: per-line, per-file, lists, and `all`."""
+
+from pathlib import Path
+
+from repro.devtools.reprolint import get_rules, lint_paths, lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _lint(source, select=("RL001",)):
+    return lint_source(source, Path("inline.py"), get_rules(select=select))
+
+
+class TestLineSuppression:
+    def test_fixture_suppresses_only_commented_line(self):
+        findings = [
+            f
+            for f in lint_paths([FIXTURES / "suppress_line.py"])
+            if f.rule_id == "RL001"
+        ]
+        # `still_flagged` keeps its finding; `legacy_draw` is suppressed.
+        assert len(findings) == 1
+        assert findings[0].line > 10
+
+    def test_rule_list(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.random.rand(3)  # reprolint: disable=RL002,RL001\n"
+        )
+        assert _lint(src) == []
+
+    def test_all_keyword(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.random.rand(3)  # reprolint: disable=all\n"
+        )
+        assert _lint(src) == []
+
+    def test_other_rule_not_suppressed(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.random.rand(3)  # reprolint: disable=RL005\n"
+        )
+        assert [f.rule_id for f in _lint(src)] == ["RL001"]
+
+    def test_case_insensitive_ids(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.random.rand(3)  # reprolint: disable=rl001\n"
+        )
+        assert _lint(src) == []
+
+
+class TestFileSuppression:
+    def test_fixture_file_wide(self):
+        findings = lint_paths([FIXTURES / "suppress_file.py"])
+        assert [f for f in findings if f.rule_id == "RL001"] == []
+
+    def test_disable_file_from_any_line(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.random.rand(3)\n"
+            "# reprolint: disable-file=RL001 -- justification here\n"
+            "y = np.random.rand(3)\n"
+        )
+        assert _lint(src, select=["RL001"]) == []
+
+    def test_unrelated_comment_not_a_suppression(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.random.rand(3)  # tolerate reprolint findings\n"
+        )
+        assert [f.rule_id for f in _lint(src, select=["RL001"])] == ["RL001"]
