@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-full report examples clean-cache
+.PHONY: install test lint bench bench-smoke bench-full report examples clean-cache
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -15,6 +15,13 @@ lint:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# 2-record parallel mini-sweep through the execution engine; emits
+# machine-readable throughput numbers (wall-clock, windows/sec, speedup
+# over serial) to benchmarks/results/BENCH_sweep.json.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --smoke --workers 2 \
+		--output benchmarks/results/BENCH_sweep.json
 
 bench-full:
 	REPRO_BENCH_SCALE=full REPRO_CACHE_DIR=.repro_cache \

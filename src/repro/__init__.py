@@ -10,6 +10,8 @@ Subpackages
 -----------
 ``repro.core``
     The paper's contribution: hybrid front-end, packets, receiver, pipeline.
+``repro.runtime``
+    Staged execution engine with pluggable serial/parallel executors.
 ``repro.signals``
     Synthetic MIT-BIH-like ECG substrate (ECGSYN model + noise + database).
 ``repro.wavelets``

@@ -1,10 +1,14 @@
 """Command-line interface to the hybrid CS ECG front-end.
 
-Four subcommands cover the everyday workflows:
+The subcommands cover the everyday workflows:
 
 * ``repro synthesize`` — write synthetic database records as WFDB files;
 * ``repro compress``   — run a record through a front-end and report the
-  per-window quality/compression table;
+  per-window quality/compression table (``--workers N`` fans the window
+  solves out over processes);
+* ``repro bench``      — a timed CR sweep through the staged execution
+  engine, emitting machine-readable ``BENCH_sweep.json`` throughput
+  numbers (``--workers``, ``--smoke``, ``--compare-serial``);
 * ``repro tradeoff``   — the low-resolution channel design table
   (Figs. 5-6 / Table I in one view);
 * ``repro power``      — the Section VI power comparison for a given pair
@@ -57,8 +61,9 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
 
 def _cmd_compress(args: argparse.Namespace) -> int:
     from repro.core.config import FrontEndConfig
-    from repro.core.pipeline import default_codebook, run_record
+    from repro.core.pipeline import run_record
     from repro.recovery.pdhg import PdhgSettings
+    from repro.runtime.executors import executor_from_workers
     from repro.signals.database import load_record
     from repro.signals.wfdb_io import read_record
 
@@ -73,17 +78,12 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         lowres_bits=args.lowres_bits,
         solver=PdhgSettings(max_iter=args.max_iter),
     )
-    codebook = (
-        default_codebook(config.lowres_bits, config.acquisition_bits)
-        if args.method == "hybrid"
-        else None
-    )
     outcome = run_record(
         record,
         config,
         method=args.method,
-        codebook=codebook,
         max_windows=args.max_windows,
+        executor=executor_from_workers(args.workers),
     )
     print(
         f"record {record.name} | method {args.method} | "
@@ -155,6 +155,142 @@ def _cmd_power(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    import os
+    import time
+
+    from repro.core.codebooks import CodebookKey, build_codebook
+    from repro.core.config import FrontEndConfig
+    from repro.experiments.runner import (
+        PAPER_CR_VALUES,
+        ExperimentScale,
+        sweep_compression_ratios,
+    )
+    from repro.recovery.pdhg import PdhgSettings
+    from repro.runtime.executors import executor_from_workers
+
+    records = tuple(args.records) if args.records else (
+        ("100", "101") if args.smoke else ("100", "101", "103", "107")
+    )
+    crs = tuple(args.crs) if args.crs else (
+        (75.0, 88.0) if args.smoke else PAPER_CR_VALUES
+    )
+    max_windows = (
+        args.max_windows
+        if args.max_windows is not None
+        else (3 if args.smoke else 2)
+    )
+    compare_serial = args.compare_serial or args.smoke
+    workers = args.workers if args.workers else (os.cpu_count() or 1)
+    methods = ("hybrid", "normal")
+
+    config = FrontEndConfig(
+        window_len=args.window,
+        lowres_bits=args.lowres_bits,
+        solver=PdhgSettings(max_iter=args.max_iter),
+    )
+    scale = ExperimentScale(
+        record_names=records, duration_s=args.duration, max_windows=max_windows
+    )
+    windows_total = len(records) * len(crs) * len(methods) * max_windows
+
+    # Train the shared offline codebook outside the timed region: it is
+    # identical state for both executors (fork-based workers inherit it).
+    build_codebook(
+        CodebookKey(
+            lowres_bits=config.lowres_bits,
+            acquisition_bits=config.acquisition_bits,
+        )
+    )
+
+    def timed_sweep(executor):
+        start = time.perf_counter()
+        points = sweep_compression_ratios(
+            config,
+            cr_values=crs,
+            methods=methods,
+            scale=scale,
+            cache=False,
+            executor=executor,
+        )
+        elapsed = time.perf_counter() - start
+        return points, elapsed
+
+    serial_stats = None
+    serial_points = None
+    if compare_serial:
+        serial_points, serial_s = timed_sweep(executor_from_workers(1))
+        serial_stats = {
+            "wall_clock_s": serial_s,
+            "windows_per_sec": windows_total / serial_s,
+        }
+        print(
+            f"serial:   {serial_s:.2f} s "
+            f"({serial_stats['windows_per_sec']:.1f} windows/s)"
+        )
+
+    points, parallel_s = timed_sweep(executor_from_workers(workers))
+    parallel_stats = {
+        "wall_clock_s": parallel_s,
+        "windows_per_sec": windows_total / parallel_s,
+    }
+    print(
+        f"workers={workers}: {parallel_s:.2f} s "
+        f"({parallel_stats['windows_per_sec']:.1f} windows/s)"
+    )
+
+    speedup = None
+    results_equal = None
+    if serial_stats is not None:
+        speedup = (
+            parallel_stats["windows_per_sec"] / serial_stats["windows_per_sec"]
+        )
+        results_equal = all(
+            pa.cr_percent == pb.cr_percent
+            and pa.method == pb.method
+            and pa.outcomes == pb.outcomes
+            for pa, pb in zip(serial_points, points)
+        )
+        print(
+            f"speedup:  {speedup:.2f}x windows/s over serial "
+            f"(results identical: {results_equal})"
+        )
+
+    payload = {
+        "schema": "repro-bench-sweep/v1",
+        "smoke": bool(args.smoke),
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "records": list(records),
+        "cr_values": [float(c) for c in crs],
+        "methods": list(methods),
+        "window_len": config.window_len,
+        "max_windows": max_windows,
+        "duration_s": args.duration,
+        "windows_total": windows_total,
+        "parallel": parallel_stats,
+        "serial": serial_stats,
+        "speedup_windows_per_sec": speedup,
+        "results_equal_serial": results_equal,
+        "points": [
+            {
+                "cr_percent": p.cr_percent,
+                "method": p.method,
+                "mean_snr_db": p.mean_snr_db,
+                "mean_prd_percent": p.mean_prd_percent,
+                "net_cr_percent": p.net_cr_percent,
+            }
+            for p in points
+        ],
+    }
+    out = Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools.reprolint import (
         all_rule_ids,
@@ -221,7 +357,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=30.0)
     p.add_argument("--max-windows", type=int, default=4)
     p.add_argument("--max-iter", type=int, default=3000)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for window solves (1 = serial)")
     p.set_defaults(func=_cmd_compress)
+
+    p = sub.add_parser(
+        "bench",
+        help="timed CR sweep through the execution engine; writes "
+             "BENCH_sweep.json",
+    )
+    p.add_argument("--records", nargs="*", help="record names to sweep")
+    p.add_argument("--crs", nargs="*", type=float, metavar="CR",
+                   help="CS-channel CR values in percent")
+    p.add_argument("--workers", type=int, default=0,
+                   help="worker processes (default: all CPUs)")
+    p.add_argument("--window", type=int, default=512)
+    p.add_argument("--lowres-bits", type=int, default=7)
+    p.add_argument("--duration", type=float, default=30.0)
+    p.add_argument("--max-windows", type=int, default=None)
+    p.add_argument("--max-iter", type=int, default=3000)
+    p.add_argument("--compare-serial", action="store_true",
+                   help="also time the serial executor and record the speedup")
+    p.add_argument("--smoke", action="store_true",
+                   help="small fixed 2-record sweep with serial comparison "
+                        "(the `make bench-smoke` configuration)")
+    p.add_argument("--output", "-o", default="benchmarks/results/BENCH_sweep.json",
+                   help="where to write the machine-readable result")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("tradeoff", help="low-res channel design table")
     p.add_argument("--records", nargs="*", help="training/eval records")

@@ -1,0 +1,105 @@
+"""Offline codebook training behind a picklable, multiprocess-safe key.
+
+The difference codebook is offline-agreed state shared by node and
+receiver (paper Section III-B).  Experiment drivers used to share it via
+an ``lru_cache``\\ d function in :mod:`repro.core.pipeline`, which worked
+in-process but is hostile to multiprocessing: a cached
+:class:`~repro.coding.codebook.DifferenceCodebook` would have to be
+pickled into every worker with every task.
+
+Instead, :class:`CodebookKey` captures the *recipe* — a tiny, hashable,
+picklable value — and :func:`build_codebook` deterministically rebuilds
+(and per-process caches) the codebook from it.  Executor workers ship the
+key, not the object; the synthetic database is seeded per record, so any
+process that evaluates the same key obtains a bit-identical codebook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Tuple
+
+from repro.coding.codebook import DifferenceCodebook, train_codebook
+from repro.sensing.quantizers import requantize_codes
+from repro.signals.database import MITBIH_RECORD_NAMES, load_record
+
+__all__ = [
+    "DEFAULT_TRAIN_RECORDS",
+    "CodebookKey",
+    "build_codebook",
+    "default_codebook",
+]
+
+#: Training corpus mirroring the paper's offline codebook generation.
+DEFAULT_TRAIN_RECORDS: Tuple[str, ...] = MITBIH_RECORD_NAMES[:12]
+
+
+@dataclass(frozen=True)
+class CodebookKey:
+    """Everything needed to rebuild a default codebook in any process.
+
+    Attributes
+    ----------
+    lowres_bits:
+        Resolution B of the low-res channel the codebook serves.
+    acquisition_bits:
+        Resolution of the underlying acquisition stream.
+    train_records:
+        Names of the synthetic-database training records.
+    duration_s:
+        Training-record length in seconds.
+    """
+
+    lowres_bits: int
+    acquisition_bits: int = 11
+    train_records: Tuple[str, ...] = DEFAULT_TRAIN_RECORDS
+    duration_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.lowres_bits <= self.acquisition_bits:
+            raise ValueError("lowres_bits must be in [1, acquisition_bits]")
+        if not self.train_records:
+            raise ValueError("training corpus cannot be empty")
+
+
+@lru_cache(maxsize=32)
+def build_codebook(key: CodebookKey) -> DifferenceCodebook:
+    """Train (or fetch the per-process cached) codebook for ``key``.
+
+    Deterministic: the synthetic database is seeded per record name, so
+    the same key yields a bit-identical codebook in every process — this
+    is what lets parallel executor workers rebuild shared offline state
+    from a few bytes of task payload.
+    """
+    streams = []
+    for name in key.train_records:
+        record = load_record(name, duration_s=key.duration_s)
+        streams.append(
+            requantize_codes(
+                record.adu, key.acquisition_bits, key.lowres_bits
+            )
+        )
+    return train_codebook(streams, key.lowres_bits)
+
+
+def default_codebook(
+    lowres_bits: int,
+    acquisition_bits: int = 11,
+    *,
+    train_records: Tuple[str, ...] = DEFAULT_TRAIN_RECORDS,
+    duration_s: float = 30.0,
+) -> DifferenceCodebook:
+    """Train the offline difference codebook on synthetic-database records.
+
+    Thin compatibility wrapper over :func:`build_codebook`; repeated
+    experiment runs in one process share the cached result.
+    """
+    return build_codebook(
+        CodebookKey(
+            lowres_bits=lowres_bits,
+            acquisition_bits=acquisition_bits,
+            train_records=tuple(train_records),
+            duration_s=duration_s,
+        )
+    )

@@ -1,0 +1,91 @@
+"""Outcome containers shared by the pipeline and the execution engine.
+
+:class:`WindowOutcome` is the scored result of one window-level task
+(the last stage of the ``encode → transport → recover → score`` graph in
+:mod:`repro.runtime`); :class:`RecordOutcome` aggregates one record's
+windows the way the paper reports them (window averages for Fig. 7,
+per-record box stats for Fig. 8).
+
+These used to live in :mod:`repro.core.pipeline`; they are re-exported
+there for compatibility, but are defined here so the runtime layer can
+depend on them without importing the pipeline's convenience wrappers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.metrics.compression import CompressionBudget
+from repro.metrics.quality import mean_snr_over_windows
+
+__all__ = ["WindowOutcome", "RecordOutcome"]
+
+
+@dataclass(frozen=True)
+class WindowOutcome:
+    """Quality and bit accounting for one reconstructed window."""
+
+    window_index: int
+    prd_percent: float
+    snr_db: float
+    budget: CompressionBudget
+    solver_iterations: int
+    solver_converged: bool
+
+
+@dataclass(frozen=True)
+class RecordOutcome:
+    """Aggregated outcome of running one record through one method."""
+
+    record_name: str
+    method: str
+    windows: Tuple[WindowOutcome, ...]
+
+    def __post_init__(self) -> None:
+        if not self.windows:
+            raise ValueError("record outcome needs at least one window")
+
+    @property
+    def prds(self) -> np.ndarray:
+        """Per-window PRDs in percent, shape ``(n_windows,)``."""
+        return np.array([w.prd_percent for w in self.windows])
+
+    @property
+    def snrs(self) -> np.ndarray:
+        """Per-window SNRs in dB, shape ``(n_windows,)``."""
+        return np.array([w.snr_db for w in self.windows])
+
+    @property
+    def mean_prd(self) -> float:
+        """Mean window PRD (percent)."""
+        return float(np.mean(self.prds))
+
+    @property
+    def mean_snr_db(self) -> float:
+        """Mean window SNR (dB domain, as in Fig. 7)."""
+        return mean_snr_over_windows(self.prds)
+
+    @property
+    def cs_cr_percent(self) -> float:
+        """CS-channel CR realised by the transmitted packets."""
+        return float(np.mean([w.budget.cs_cr_percent for w in self.windows]))
+
+    @property
+    def net_cr_percent(self) -> float:
+        """Net CR counting every transmitted bit."""
+        return float(np.mean([w.budget.net_cr_percent for w in self.windows]))
+
+    @property
+    def lowres_overhead_percent(self) -> float:
+        """Measured low-res overhead D (percent of original bits)."""
+        return float(
+            np.mean([w.budget.lowres_overhead_percent for w in self.windows])
+        )
+
+    def snr_quartiles(self) -> Tuple[float, float, float]:
+        """(q25, median, q75) of per-window SNR — the Fig. 8 box stats."""
+        q25, med, q75 = np.percentile(self.snrs, [25.0, 50.0, 75.0])
+        return float(q25), float(med), float(q75)

@@ -1,27 +1,30 @@
 """End-to-end pipeline: record → packets → reconstruction → metrics.
 
-Convenience layer gluing together the node front-ends, the receiver and
-the metrics, with per-record aggregation matching how the paper reports
-results (averages over windows and records, Fig. 7; per-record box stats,
-Fig. 8).  The experiment drivers and the examples are built on this.
+Compatibility surface over the staged execution engine
+(:mod:`repro.runtime`).  :func:`run_record` and :func:`run_database`
+keep their historical signatures but are now thin wrappers that build
+:class:`~repro.runtime.engine.RecordJob` units and schedule them through
+an :class:`~repro.runtime.engine.ExecutionEngine`; pass ``executor=``
+(e.g. :class:`repro.runtime.ParallelExecutor`) to fan window solves out
+over processes.  The default :class:`~repro.runtime.SerialExecutor` is
+bit-identical to the old in-process loop.
+
+The outcome dataclasses live in :mod:`repro.core.outcomes` and the
+codebook training in :mod:`repro.core.codebooks`; both are re-exported
+here for existing importers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from functools import lru_cache
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-import numpy as np
-
-from repro.coding.codebook import DifferenceCodebook, train_codebook
+from repro.coding.codebook import DifferenceCodebook
+from repro.core.codebooks import default_codebook
 from repro.core.config import FrontEndConfig
-from repro.core.frontend import HybridFrontEnd, NormalCsFrontEnd
-from repro.core.receiver import HybridReceiver
-from repro.metrics.compression import CompressionBudget
-from repro.metrics.quality import mean_snr_over_windows, prd as prd_metric
-from repro.sensing.quantizers import requantize_codes
-from repro.signals.database import MITBIH_RECORD_NAMES, load_record
+from repro.core.outcomes import RecordOutcome, WindowOutcome
+from repro.runtime.engine import ExecutionEngine, RecordJob
+from repro.runtime.executors import Executor
+from repro.runtime.task import CodebookSpec
 from repro.signals.records import Record
 
 __all__ = [
@@ -33,98 +36,21 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class WindowOutcome:
-    """Quality and bit accounting for one reconstructed window."""
-
-    window_index: int
-    prd_percent: float
-    snr_db: float
-    budget: CompressionBudget
-    solver_iterations: int
-    solver_converged: bool
-
-
-@dataclass(frozen=True)
-class RecordOutcome:
-    """Aggregated outcome of running one record through one method."""
-
-    record_name: str
-    method: str
-    windows: Tuple[WindowOutcome, ...]
-
-    def __post_init__(self) -> None:
-        if not self.windows:
-            raise ValueError("record outcome needs at least one window")
-
-    @property
-    def prds(self) -> np.ndarray:
-        """Per-window PRDs in percent, shape ``(n_windows,)``."""
-        return np.array([w.prd_percent for w in self.windows])
-
-    @property
-    def snrs(self) -> np.ndarray:
-        """Per-window SNRs in dB, shape ``(n_windows,)``."""
-        return np.array([w.snr_db for w in self.windows])
-
-    @property
-    def mean_prd(self) -> float:
-        """Mean window PRD (percent)."""
-        return float(np.mean(self.prds))
-
-    @property
-    def mean_snr_db(self) -> float:
-        """Mean window SNR (dB domain, as in Fig. 7)."""
-        return mean_snr_over_windows(self.prds)
-
-    @property
-    def cs_cr_percent(self) -> float:
-        """CS-channel CR realised by the transmitted packets."""
-        return float(np.mean([w.budget.cs_cr_percent for w in self.windows]))
-
-    @property
-    def net_cr_percent(self) -> float:
-        """Net CR counting every transmitted bit."""
-        return float(np.mean([w.budget.net_cr_percent for w in self.windows]))
-
-    @property
-    def lowres_overhead_percent(self) -> float:
-        """Measured low-res overhead D (percent of original bits)."""
-        return float(
-            np.mean([w.budget.lowres_overhead_percent for w in self.windows])
-        )
-
-    def snr_quartiles(self) -> Tuple[float, float, float]:
-        """(q25, median, q75) of per-window SNR — the Fig. 8 box stats."""
-        q25, med, q75 = np.percentile(self.snrs, [25.0, 50.0, 75.0])
-        return float(q25), float(med), float(q75)
-
-
-@lru_cache(maxsize=32)
-def default_codebook(
-    lowres_bits: int,
-    acquisition_bits: int = 11,
-    *,
-    train_records: Tuple[str, ...] = MITBIH_RECORD_NAMES[:12],
-    duration_s: float = 30.0,
-) -> DifferenceCodebook:
-    """Train the offline difference codebook on synthetic-database records.
-
-    Mirrors the paper's offline codebook generation: a training corpus of
-    low-resolution streams, one Huffman codebook per resolution, stored on
-    the node.  Cached so repeated experiment runs share it.
-    """
-    streams = []
-    for name in train_records:
-        record = load_record(name, duration_s=duration_s)
-        streams.append(
-            requantize_codes(record.adu, acquisition_bits, lowres_bits)
-        )
-    return train_codebook(streams, lowres_bits)
-
-
-def _reference_centered(record: Record, window: np.ndarray, center: int) -> np.ndarray:
-    return window.astype(float) - center
+def _job(
+    record: Record,
+    config: FrontEndConfig,
+    method: str,
+    codebook: Optional[DifferenceCodebook],
+    max_windows: Optional[int],
+) -> RecordJob:
+    spec = CodebookSpec.from_object(codebook) if codebook is not None else None
+    return RecordJob(
+        record=record,
+        config=config,
+        method=method,
+        codebook=spec,
+        max_windows=max_windows,
+    )
 
 
 def run_record(
@@ -134,6 +60,7 @@ def run_record(
     method: str = "hybrid",
     codebook: Optional[DifferenceCodebook] = None,
     max_windows: Optional[int] = None,
+    executor: Optional[Executor] = None,
 ) -> RecordOutcome:
     """Run one record end-to-end through the chosen front-end.
 
@@ -150,6 +77,10 @@ def run_record(
         (hybrid only).
     max_windows:
         Cap on processed windows (None = all full windows).
+    executor:
+        Task executor; defaults to the serial engine.  A parallel
+        executor spreads the window solves over processes and returns
+        bit-identical results.
 
     Returns
     -------
@@ -158,45 +89,8 @@ def run_record(
         constant ADC offset does not inflate signal energy) plus the full
         bit accounting of the transmitted frames.
     """
-    if method not in ("hybrid", "normal"):
-        raise ValueError(f"unknown method {method!r}")
-    center = 1 << (config.acquisition_bits - 1)
-
-    if method == "hybrid":
-        book = codebook or default_codebook(
-            config.lowres_bits, config.acquisition_bits
-        )
-        frontend = HybridFrontEnd(config, book)
-        receiver = HybridReceiver(config, book)
-    else:
-        book = None
-        frontend = NormalCsFrontEnd(config)
-        receiver = HybridReceiver(config)
-
-    outcomes: List[WindowOutcome] = []
-    for idx, window in enumerate(record.windows(config.window_len)):
-        if max_windows is not None and idx >= max_windows:
-            break
-        packet = frontend.process_window(window, idx)
-        recon = receiver.reconstruct(packet)
-        reference = _reference_centered(record, window, center)
-        p = prd_metric(reference, recon.x_centered(center))
-        snr = float("inf") if p == 0 else -20.0 * np.log10(0.01 * p)
-        outcomes.append(
-            WindowOutcome(
-                window_index=idx,
-                prd_percent=p,
-                snr_db=min(snr, 120.0),
-                budget=packet.budget(),
-                solver_iterations=recon.recovery.iterations,
-                solver_converged=recon.recovery.converged,
-            )
-        )
-    if not outcomes:
-        raise ValueError(
-            f"record {record.name} is shorter than one {config.window_len}-sample window"
-        )
-    return RecordOutcome(record_name=record.name, method=method, windows=tuple(outcomes))
+    engine = ExecutionEngine(executor=executor)
+    return engine.run_job(_job(record, config, method, codebook, max_windows))
 
 
 def run_database(
@@ -206,15 +100,14 @@ def run_database(
     method: str = "hybrid",
     codebook: Optional[DifferenceCodebook] = None,
     max_windows: Optional[int] = None,
+    executor: Optional[Executor] = None,
 ) -> List[RecordOutcome]:
-    """Run several records; returns one :class:`RecordOutcome` each."""
-    return [
-        run_record(
-            rec,
-            config,
-            method=method,
-            codebook=codebook,
-            max_windows=max_windows,
-        )
-        for rec in records
-    ]
+    """Run several records; returns one :class:`RecordOutcome` each.
+
+    All records are scheduled as one task batch, so a parallel executor
+    overlaps window solves *across* records, not just within one.
+    """
+    engine = ExecutionEngine(executor=executor)
+    return engine.run_jobs(
+        [_job(rec, config, method, codebook, max_windows) for rec in records]
+    )

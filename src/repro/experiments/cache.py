@@ -18,18 +18,26 @@ Opt-in: pass a :class:`SweepCache` to
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
+import tempfile
 from dataclasses import asdict
 from pathlib import Path
 from typing import Callable, Optional
 
 from repro.core.config import FrontEndConfig
-from repro.core.pipeline import RecordOutcome, WindowOutcome
+from repro.core.outcomes import RecordOutcome, WindowOutcome
 from repro.metrics.compression import CompressionBudget
+from repro.runtime.engine import RecordJob, StageHook
 
-__all__ = ["config_fingerprint", "SweepCache", "cache_from_env"]
+__all__ = [
+    "config_fingerprint",
+    "SweepCache",
+    "SweepCacheHook",
+    "cache_from_env",
+]
 
 
 def config_fingerprint(config: FrontEndConfig) -> str:
@@ -116,18 +124,17 @@ class SweepCache:
         )
         return self.directory / f"{key}.json"
 
-    def get_or_run(
+    def load(
         self,
         record_name: str,
         duration_s: float,
         config: FrontEndConfig,
         method: str,
         max_windows: Optional[int],
-        runner: Callable[[], RecordOutcome],
-    ) -> RecordOutcome:
-        """Return the cached outcome, or compute, persist and return it.
+    ) -> Optional[RecordOutcome]:
+        """The cached outcome, or None on a miss.
 
-        A corrupt cache file is treated as a miss and overwritten.
+        A corrupt or truncated file is deleted and treated as a miss.
         """
         path = self._path(record_name, duration_s, config, method, max_windows)
         if path.exists():
@@ -138,9 +145,59 @@ class SweepCache:
             except (ValueError, KeyError, TypeError):
                 path.unlink(missing_ok=True)
         self.misses += 1
+        return None
+
+    def store(
+        self,
+        record_name: str,
+        duration_s: float,
+        config: FrontEndConfig,
+        method: str,
+        max_windows: Optional[int],
+        outcome: RecordOutcome,
+    ) -> Path:
+        """Persist one outcome atomically; returns its cache path.
+
+        The JSON is written to a temporary file in the cache directory
+        and moved into place with :func:`os.replace`, so a concurrent
+        reader (or a crashed parallel worker) can never observe a
+        truncated outcome — it sees either the old file or the new one.
+        """
+        path = self._path(record_name, duration_s, config, method, max_windows)
+        payload = json.dumps(_outcome_to_dict(outcome))
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{path.stem}.", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(tmp_name)
+            raise
+        return path
+
+    def get_or_run(
+        self,
+        record_name: str,
+        duration_s: float,
+        config: FrontEndConfig,
+        method: str,
+        max_windows: Optional[int],
+        runner: Callable[[], RecordOutcome],
+    ) -> RecordOutcome:
+        """Return the cached outcome, or compute, persist and return it."""
+        cached = self.load(record_name, duration_s, config, method, max_windows)
+        if cached is not None:
+            return cached
         outcome = runner()
-        path.write_text(json.dumps(_outcome_to_dict(outcome)))
+        self.store(record_name, duration_s, config, method, max_windows, outcome)
         return outcome
+
+    def stage_hook(self) -> "SweepCacheHook":
+        """This cache as an engine stage hook (see :class:`SweepCacheHook`)."""
+        return SweepCacheHook(self)
 
     def clear(self) -> int:
         """Delete every cached outcome; returns the number removed."""
@@ -149,6 +206,40 @@ class SweepCache:
             path.unlink()
             removed += 1
         return removed
+
+
+class SweepCacheHook(StageHook):
+    """Adapter exposing a :class:`SweepCache` as an engine stage hook.
+
+    ``lookup`` hits make the :class:`~repro.runtime.engine.ExecutionEngine`
+    skip expanding and scheduling the job entirely (no tasks are created,
+    pickled or submitted); misses fall through to computation, whose
+    outcome lands back here in ``store`` and is persisted atomically.
+    """
+
+    def __init__(self, cache: SweepCache) -> None:
+        self.cache = cache
+
+    def lookup(self, job: RecordJob) -> Optional[RecordOutcome]:
+        """The cached outcome for this job, or None to schedule it."""
+        return self.cache.load(
+            job.record.name,
+            job.record.duration_s,
+            job.config,
+            job.method,
+            job.max_windows,
+        )
+
+    def store(self, job: RecordJob, outcome: RecordOutcome) -> None:
+        """Persist a freshly computed job outcome."""
+        self.cache.store(
+            job.record.name,
+            job.record.duration_s,
+            job.config,
+            job.method,
+            job.max_windows,
+            outcome,
+        )
 
 
 def cache_from_env() -> Optional[SweepCache]:

@@ -11,11 +11,22 @@ baseline of EXPERIMENTS.md after a full-scale run.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Tuple
 
-__all__ = ["EXPECTED_ARTIFACTS", "ReportSection", "build_report", "write_report"]
+__all__ = [
+    "EXPECTED_ARTIFACTS",
+    "BENCH_SWEEP_STEM",
+    "ReportSection",
+    "bench_sweep_section",
+    "build_report",
+    "write_report",
+]
+
+#: Stem of the optional engine-throughput artifact (`make bench-smoke`).
+BENCH_SWEEP_STEM = "BENCH_sweep"
 
 #: (artifact stem, section heading) in paper order.
 EXPECTED_ARTIFACTS: Tuple[Tuple[str, str], ...] = (
@@ -67,6 +78,38 @@ class ReportSection:
         return "\n".join(lines)
 
 
+def bench_sweep_section(results_dir: Path) -> str:
+    """Markdown for the engine-throughput artifact, or "" when absent.
+
+    ``BENCH_sweep.json`` is informational (written by ``make bench-smoke``
+    / ``repro bench``); it does not count toward artifact coverage.
+    """
+    path = Path(results_dir) / f"{BENCH_SWEEP_STEM}.json"
+    if not path.exists():
+        return ""
+    try:
+        data = json.loads(path.read_text())
+    except ValueError:
+        return ""
+    lines = [
+        "## Engine throughput (`repro bench`)",
+        "",
+        f"- workers: {data.get('workers')} (cpu_count "
+        f"{data.get('cpu_count')})",
+        f"- windows: {data.get('windows_total')} "
+        f"@ {data.get('parallel', {}).get('windows_per_sec', 0):.1f}"
+        " windows/s",
+    ]
+    speedup = data.get("speedup_windows_per_sec")
+    if speedup is not None:
+        lines.append(
+            f"- speedup over serial: {speedup:.2f}x "
+            f"(results identical: {data.get('results_equal_serial')})"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
 def build_report(results_dir: Path) -> Tuple[str, int, int]:
     """Render the Markdown report.
 
@@ -99,6 +142,9 @@ def build_report(results_dir: Path) -> Tuple[str, int, int]:
     header.append("")
 
     body_parts = [s.to_markdown() for s in sections]
+    bench = bench_sweep_section(results_dir)
+    if bench:
+        body_parts.append(bench)
     return "\n".join(header) + "\n" + "\n".join(body_parts), present, len(sections)
 
 

@@ -17,8 +17,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.codebooks import CodebookKey
 from repro.core.config import FrontEndConfig
-from repro.core.pipeline import RecordOutcome, default_codebook, run_record
+from repro.core.outcomes import RecordOutcome
+from repro.runtime.engine import ExecutionEngine, RecordJob
+from repro.runtime.executors import Executor
+from repro.runtime.task import CodebookSpec
 from repro.signals.database import MITBIH_RECORD_NAMES, load_record
 
 __all__ = [
@@ -124,59 +128,72 @@ def sweep_compression_ratios(
     methods: Sequence[str] = ("hybrid", "normal"),
     scale: Optional[ExperimentScale] = None,
     cache=None,
+    executor: Optional[Executor] = None,
 ) -> List[CrSweepPoint]:
     """The core Fig. 7/8 sweep: CR x method over the chosen scale.
 
     Returns one :class:`CrSweepPoint` per (CR, method), ordered by CR then
-    method.  The codebook is trained once and shared.
+    method.  The whole record × CR × method grid is scheduled through one
+    :class:`~repro.runtime.engine.ExecutionEngine` batch, so a parallel
+    ``executor`` (e.g. ``ParallelExecutor(workers=4)``) overlaps window
+    solves across every grid cell; hybrid tasks share one offline
+    codebook recipe that workers rebuild (and cache) locally.
 
     Pass a :class:`repro.experiments.cache.SweepCache` (or set
     ``REPRO_CACHE_DIR``) to persist per-record outcomes and make repeated
-    or interrupted full-scale sweeps resume instead of recompute.
+    or interrupted full-scale sweeps resume instead of recompute; cache
+    hits short-circuit scheduling entirely via the engine's stage hook.
     """
     scale = scale or active_scale()
-    if cache is None:
+    if cache is False:
+        # Explicit opt-out (used by `repro bench` so timings never mix
+        # cache hits with real solves), even when REPRO_CACHE_DIR is set.
+        cache = None
+    elif cache is None:
         from repro.experiments.cache import cache_from_env
 
         cache = cache_from_env()
     records = scale.records()
-    codebook = default_codebook(
-        base_config.lowres_bits, base_config.acquisition_bits
+    codebook_spec = CodebookSpec.default(
+        CodebookKey(
+            lowres_bits=base_config.lowres_bits,
+            acquisition_bits=base_config.acquisition_bits,
+        )
     )
-    points: List[CrSweepPoint] = []
+
+    grid: List[tuple] = []
+    jobs: List[RecordJob] = []
     for cr in cr_values:
         config = base_config.for_cr(cr)
         for method in methods:
-            outcomes = []
+            grid.append((float(cr), config, method))
             for rec in records:
-                def compute(rec=rec, config=config, method=method):
-                    return run_record(
-                        rec,
-                        config,
+                jobs.append(
+                    RecordJob(
+                        record=rec,
+                        config=config,
                         method=method,
-                        codebook=codebook if method == "hybrid" else None,
+                        codebook=(
+                            codebook_spec if method == "hybrid" else None
+                        ),
                         max_windows=scale.max_windows,
                     )
-
-                if cache is None:
-                    outcomes.append(compute())
-                else:
-                    outcomes.append(
-                        cache.get_or_run(
-                            rec.name,
-                            rec.duration_s,
-                            config,
-                            method,
-                            scale.max_windows,
-                            compute,
-                        )
-                    )
-            points.append(
-                CrSweepPoint(
-                    cr_percent=float(cr),
-                    method=method,
-                    n_measurements=config.n_measurements,
-                    outcomes=tuple(outcomes),
                 )
+
+    hooks = (cache.stage_hook(),) if cache is not None else ()
+    engine = ExecutionEngine(executor=executor, hooks=hooks)
+    outcomes = engine.run_jobs(jobs)
+
+    points: List[CrSweepPoint] = []
+    per_point = len(records)
+    for k, (cr, config, method) in enumerate(grid):
+        chunk = outcomes[k * per_point : (k + 1) * per_point]
+        points.append(
+            CrSweepPoint(
+                cr_percent=cr,
+                method=method,
+                n_measurements=config.n_measurements,
+                outcomes=tuple(chunk),
             )
+        )
     return points

@@ -1,0 +1,39 @@
+"""Staged execution engine with pluggable parallel executors.
+
+The end-to-end flow (record → packets → reconstruction → metrics) as an
+explicit stage graph — ``encode → transport → recover → score`` — over
+window-level tasks, scheduled by interchangeable executors:
+
+* :class:`SerialExecutor` — in-process, bit-identical to the historical
+  pipeline (the default everywhere);
+* :class:`ParallelExecutor` — process-pool fan-out with deterministic
+  per-task seeding and bounded in-flight submission.
+
+`repro.core.pipeline` and `repro.experiments.runner` are thin wrappers
+over this layer; see ``docs/architecture.md`` for the design.
+"""
+
+from repro.runtime.engine import ExecutionEngine, RecordJob, StageHook
+from repro.runtime.executors import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    executor_from_workers,
+)
+from repro.runtime.stages import STAGE_NAMES, execute_window_task
+from repro.runtime.task import CodebookSpec, WindowTask, task_seed
+
+__all__ = [
+    "STAGE_NAMES",
+    "CodebookSpec",
+    "ExecutionEngine",
+    "Executor",
+    "ParallelExecutor",
+    "RecordJob",
+    "SerialExecutor",
+    "StageHook",
+    "WindowTask",
+    "execute_window_task",
+    "executor_from_workers",
+    "task_seed",
+]

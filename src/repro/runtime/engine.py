@@ -1,0 +1,215 @@
+"""The staged execution engine: jobs → window tasks → record outcomes.
+
+:class:`RecordJob` is the record-level request the old ``run_record``
+signature used to express implicitly; :class:`ExecutionEngine` expands
+jobs into window-level :class:`~repro.runtime.task.WindowTask` units,
+schedules them through one pluggable
+:class:`~repro.runtime.executors.Executor`, and reassembles
+:class:`~repro.core.outcomes.RecordOutcome` aggregates in job order.
+
+Because *all* jobs are flattened into one task batch, a sweep's whole
+record × CR × method grid parallelises at window granularity — the
+executor never idles at record boundaries.
+
+:class:`StageHook` is the scheduling seam: before a job is expanded the
+engine offers it to each hook (``lookup``), and a hook that returns an
+outcome — e.g. the disk cache via
+:class:`repro.experiments.cache.SweepCacheHook` — short-circuits the job
+entirely, so cache hits skip task creation, pickling and scheduling.
+Completed jobs are offered back (``store``) for persistence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.codebooks import CodebookKey
+from repro.core.config import FrontEndConfig
+from repro.core.outcomes import RecordOutcome
+from repro.runtime.executors import Executor, SerialExecutor
+from repro.runtime.stages import STAGE_NAMES
+from repro.runtime.task import CodebookSpec, WindowTask, task_seed
+from repro.signals.records import Record
+
+__all__ = ["RecordJob", "StageHook", "ExecutionEngine"]
+
+# Re-exported so engine users can introspect the graph without importing
+# the stages module.
+assert STAGE_NAMES == ("encode", "transport", "recover", "score")
+
+
+@dataclass(frozen=True)
+class RecordJob:
+    """One record through one method under one config.
+
+    Attributes
+    ----------
+    record:
+        The input record (window source and reference signal).
+    config:
+        Shared link configuration.
+    method:
+        ``"hybrid"`` or ``"normal"``.
+    codebook:
+        Optional codebook spec.  ``None`` means "use the default trained
+        codebook" for hybrid jobs and "no codebook" for normal jobs.
+    max_windows:
+        Cap on processed windows (None = all full windows).
+    """
+
+    record: Record
+    config: FrontEndConfig
+    method: str = "hybrid"
+    codebook: Optional[CodebookSpec] = None
+    max_windows: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.method not in ("hybrid", "normal"):
+            raise ValueError(f"unknown method {self.method!r}")
+        if self.max_windows is not None and self.max_windows < 1:
+            raise ValueError("max_windows must be positive when given")
+
+    def resolved_codebook_spec(self) -> CodebookSpec:
+        """The concrete codebook spec this job's tasks will carry."""
+        if self.method == "normal":
+            return CodebookSpec.none()
+        if self.codebook is not None:
+            return self.codebook
+        return CodebookSpec.default(
+            CodebookKey(
+                lowres_bits=self.config.lowres_bits,
+                acquisition_bits=self.config.acquisition_bits,
+            )
+        )
+
+
+class StageHook:
+    """Observer/short-circuit interface around job scheduling.
+
+    Subclass and override either method; the defaults are inert.  Hooks
+    run in the parent process only — workers never see them — so they
+    may hold unpicklable state (open files, counters, sockets).
+    """
+
+    def lookup(self, job: RecordJob) -> Optional[RecordOutcome]:
+        """Return a finished outcome to skip scheduling ``job`` entirely."""
+        del job
+        return None
+
+    def store(self, job: RecordJob, outcome: RecordOutcome) -> None:
+        """Observe a freshly computed outcome (e.g. persist it)."""
+        del job, outcome
+
+
+class ExecutionEngine:
+    """Schedules record jobs through the stage graph on one executor.
+
+    Parameters
+    ----------
+    executor:
+        Task executor; defaults to :class:`SerialExecutor`, which is
+        bit-identical to the historical in-process pipeline.
+    hooks:
+        Stage hooks consulted per job (first ``lookup`` hit wins).
+    """
+
+    def __init__(
+        self,
+        executor: Optional[Executor] = None,
+        hooks: Sequence[StageHook] = (),
+    ) -> None:
+        self.executor = executor or SerialExecutor()
+        self.hooks: Tuple[StageHook, ...] = tuple(hooks)
+
+    def plan(self, job: RecordJob) -> List[WindowTask]:
+        """Expand one job into its ordered window tasks.
+
+        Raises if the record is shorter than one window — the same
+        contract ``run_record`` has always had.
+        """
+        spec = job.resolved_codebook_spec()
+        config = job.config
+        tasks: List[WindowTask] = []
+        for idx, window in enumerate(job.record.windows(config.window_len)):
+            if job.max_windows is not None and idx >= job.max_windows:
+                break
+            tasks.append(
+                WindowTask(
+                    record_name=job.record.name,
+                    method=job.method,
+                    window_index=idx,
+                    codes=window,
+                    config=config,
+                    codebook=spec,
+                    seed=task_seed(job.record.name, job.method, idx),
+                )
+            )
+        if not tasks:
+            raise ValueError(
+                f"record {job.record.name} is shorter than one "
+                f"{config.window_len}-sample window"
+            )
+        return tasks
+
+    def _lookup(self, job: RecordJob) -> Optional[RecordOutcome]:
+        for hook in self.hooks:
+            outcome = hook.lookup(job)
+            if outcome is not None:
+                return outcome
+        return None
+
+    def _warm_default_codebooks(self, tasks: Sequence[WindowTask]) -> None:
+        """Resolve every distinct default-codebook key in the parent.
+
+        Training is deterministic, so this is purely a warm-up: on
+        fork-based platforms workers inherit the parent's cache and skip
+        retraining entirely; on spawn platforms each worker trains once
+        per key and caches thereafter.
+        """
+        seen = set()
+        for task in tasks:
+            spec = task.codebook
+            if spec.kind == "default" and spec.key not in seen:
+                seen.add(spec.key)
+                spec.resolve()
+
+    def run_jobs(self, jobs: Sequence[RecordJob]) -> List[RecordOutcome]:
+        """Run every job; outcome ``i`` corresponds to job ``i``.
+
+        Cache-hook hits are filled in without scheduling; every other
+        job's windows are flattened into one executor batch so the pool
+        sees maximal window-level parallelism.
+        """
+        jobs = list(jobs)
+        results: List[Optional[RecordOutcome]] = [None] * len(jobs)
+        pending: List[Tuple[int, RecordJob, List[WindowTask]]] = []
+        for i, job in enumerate(jobs):
+            hit = self._lookup(job)
+            if hit is not None:
+                results[i] = hit
+                continue
+            pending.append((i, job, self.plan(job)))
+
+        flat: List[WindowTask] = [t for _, _, ts in pending for t in ts]
+        if flat:
+            self._warm_default_codebooks(flat)
+            window_outcomes = self.executor.run_tasks(flat)
+            cursor = 0
+            for i, job, tasks in pending:
+                windows = tuple(window_outcomes[cursor : cursor + len(tasks)])
+                cursor += len(tasks)
+                outcome = RecordOutcome(
+                    record_name=job.record.name,
+                    method=job.method,
+                    windows=windows,
+                )
+                for hook in self.hooks:
+                    hook.store(job, outcome)
+                results[i] = outcome
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def run_job(self, job: RecordJob) -> RecordOutcome:
+        """Convenience wrapper: run a single job."""
+        return self.run_jobs([job])[0]

@@ -1,0 +1,145 @@
+"""Pluggable executors: how window tasks are mapped to outcomes.
+
+Two implementations of one contract (:class:`Executor.run_tasks`:
+ordered, one outcome per task):
+
+* :class:`SerialExecutor` — in-process loop, bit-identical to the
+  pre-engine pipeline; the default everywhere, and what every paper
+  invariant test runs through.
+* :class:`ParallelExecutor` — a ``ProcessPoolExecutor`` fan-out with
+  bounded in-flight submission.  Window solves are pure functions of the
+  task payload, so results are bit-identical to serial execution, just
+  computed on more cores.  Submission is bounded (default
+  ``4 × workers`` outstanding futures) so a 48-record × 9-CR × 2-method
+  grid never materialises thousands of pickled pending futures at once.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+from repro.core.outcomes import WindowOutcome
+from repro.runtime.stages import execute_window_task
+from repro.runtime.task import WindowTask
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "executor_from_workers",
+]
+
+
+class Executor(ABC):
+    """Maps window tasks to outcomes, preserving input order."""
+
+    #: Human-readable executor name (benchmark artifacts record it).
+    name: str = "executor"
+
+    @abstractmethod
+    def run_tasks(self, tasks: Sequence[WindowTask]) -> List[WindowOutcome]:
+        """Execute every task; outcome ``i`` corresponds to task ``i``."""
+
+    @property
+    def effective_workers(self) -> int:
+        """How many processes actually compute (1 for serial)."""
+        return 1
+
+
+class SerialExecutor(Executor):
+    """Run every task in-process, in order — the deterministic default."""
+
+    name = "serial"
+
+    def run_tasks(self, tasks: Sequence[WindowTask]) -> List[WindowOutcome]:
+        """Execute tasks one by one; outcome order matches task order."""
+        return [execute_window_task(task) for task in tasks]
+
+
+class ParallelExecutor(Executor):
+    """Fan tasks out over worker processes with bounded submission.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (default: the machine's CPU count).
+    max_inflight:
+        Cap on outstanding submitted futures (default ``4 × workers``);
+        bounds both scheduler memory and pickled-payload backlog.
+
+    Determinism: each worker rebuilds front-end/receiver state from the
+    task payload via per-process caches, and every solve is a pure
+    function of the task, so outcomes are bit-identical to
+    :class:`SerialExecutor` regardless of scheduling order.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        max_inflight: Optional[int] = None,
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.workers = int(workers)
+        self.max_inflight = (
+            int(max_inflight) if max_inflight is not None else 4 * self.workers
+        )
+
+    @property
+    def effective_workers(self) -> int:
+        """The configured worker-process count."""
+        return self.workers
+
+    def run_tasks(self, tasks: Sequence[WindowTask]) -> List[WindowOutcome]:
+        """Execute tasks across the pool; outcome order matches task order."""
+        tasks = list(tasks)
+        if len(tasks) <= 1 or self.workers == 1:
+            # Not worth a pool; also keeps the single-task path trivially
+            # debuggable.
+            return SerialExecutor().run_tasks(tasks)
+        results: List[Optional[WindowOutcome]] = [None] * len(tasks)
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.workers
+        ) as pool:
+            pending = {}
+            task_iter = iter(enumerate(tasks))
+            exhausted = False
+            while pending or not exhausted:
+                while not exhausted and len(pending) < self.max_inflight:
+                    try:
+                        index, task = next(task_iter)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    pending[pool.submit(execute_window_task, task)] = index
+                if not pending:
+                    break
+                done, _ = concurrent.futures.wait(
+                    pending, return_when=concurrent.futures.FIRST_COMPLETED
+                )
+                for future in done:
+                    index = pending.pop(future)
+                    results[index] = future.result()
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+
+def executor_from_workers(workers: Optional[int]) -> Executor:
+    """Executor for a ``--workers N`` style knob.
+
+    ``None``, ``0`` or ``1`` select the serial executor; anything larger
+    selects a parallel executor with that many processes.
+    """
+    if workers is None or workers <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(workers=workers)

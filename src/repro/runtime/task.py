@@ -1,0 +1,128 @@
+"""Window-level task units for the staged execution engine.
+
+A :class:`WindowTask` is the unit of scheduling: one window of one record
+through one front-end method under one config.  Every field is a plain
+picklable value so a task can cross a process boundary; in particular the
+codebook travels as a :class:`CodebookSpec` — usually just a
+:class:`~repro.core.codebooks.CodebookKey` recipe that workers rebuild
+locally — never as live solver state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.coding.codebook import DifferenceCodebook
+from repro.core.codebooks import CodebookKey, build_codebook
+from repro.core.config import FrontEndConfig
+
+__all__ = ["CodebookSpec", "WindowTask", "task_seed"]
+
+
+@dataclass(frozen=True)
+class CodebookSpec:
+    """How a task obtains its difference codebook.
+
+    Three kinds:
+
+    * ``"none"`` — no parallel channel (normal-CS tasks);
+    * ``"default"`` — rebuild from a :class:`CodebookKey` recipe (cached
+      per process; the cheap, picklable path parallel sweeps use);
+    * ``"inline"`` — carry an explicit
+      :class:`~repro.coding.codebook.DifferenceCodebook` object (custom
+      codebooks; heavier to pickle, so prefer keys for parallel runs).
+    """
+
+    kind: str = "none"
+    key: Optional[CodebookKey] = None
+    inline: Optional[DifferenceCodebook] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("none", "default", "inline"):
+            raise ValueError(f"unknown codebook spec kind {self.kind!r}")
+        if self.kind == "default" and self.key is None:
+            raise ValueError("default codebook spec needs a CodebookKey")
+        if self.kind == "inline" and self.inline is None:
+            raise ValueError("inline codebook spec needs a codebook object")
+
+    @classmethod
+    def none(cls) -> "CodebookSpec":
+        """Spec for tasks with no low-res channel."""
+        return cls(kind="none")
+
+    @classmethod
+    def default(cls, key: CodebookKey) -> "CodebookSpec":
+        """Spec that rebuilds the codebook from a picklable recipe."""
+        return cls(kind="default", key=key)
+
+    @classmethod
+    def from_object(cls, codebook: DifferenceCodebook) -> "CodebookSpec":
+        """Spec carrying an explicit codebook object."""
+        return cls(kind="inline", inline=codebook)
+
+    @property
+    def is_hashable(self) -> bool:
+        """Whether the spec can key a per-process cache (inline cannot)."""
+        return self.kind != "inline"
+
+    def resolve(self) -> Optional[DifferenceCodebook]:
+        """The concrete codebook for this spec (None for kind ``none``)."""
+        if self.kind == "none":
+            return None
+        if self.kind == "default":
+            assert self.key is not None
+            return build_codebook(self.key)
+        return self.inline
+
+
+def task_seed(record_name: str, method: str, window_index: int) -> int:
+    """Deterministic 32-bit seed for one task, stable across processes.
+
+    Derived by hashing the task identity (not Python's randomized
+    ``hash``), so stochastic stages — e.g. a lossy-link transport model —
+    draw identical streams no matter which worker executes the task or in
+    what order tasks complete.
+    """
+    blob = f"{record_name}|{method}|{window_index}".encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:4], "big")
+
+
+@dataclass(frozen=True)
+class WindowTask:
+    """One window-level unit of work for the stage graph.
+
+    Attributes
+    ----------
+    record_name:
+        Name of the source record (labelling and seeding only).
+    method:
+        ``"hybrid"`` or ``"normal"``.
+    window_index:
+        Index of this window within its record.
+    codes:
+        The window's raw acquisition codes, shape ``(window_len,)`` int.
+    config:
+        Shared link configuration (hashable, picklable).
+    codebook:
+        Codebook spec (see :class:`CodebookSpec`).
+    seed:
+        Deterministic per-task seed for stochastic stages.
+    """
+
+    record_name: str
+    method: str
+    window_index: int
+    codes: np.ndarray
+    config: FrontEndConfig
+    codebook: CodebookSpec
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.method not in ("hybrid", "normal"):
+            raise ValueError(f"unknown method {self.method!r}")
+        if self.window_index < 0:
+            raise ValueError("window_index cannot be negative")

@@ -94,6 +94,98 @@ class TestSweepCache:
         assert list(tmp_path.glob("*.json")) == []
 
 
+class TestAtomicWrites:
+    def _outcome(self):
+        rec = load_record("100", duration_s=5.0)
+        return run_record(rec, FAST, max_windows=1)
+
+    def test_store_leaves_no_temp_files(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        path = cache.store("100", 5.0, FAST, "hybrid", 1, self._outcome())
+        assert path.exists()
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_store_replaces_corrupt_file_atomically(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        outcome = self._outcome()
+        path = cache.store("100", 5.0, FAST, "hybrid", 1, outcome)
+        path.write_text("{truncated by a crashed worker")
+        cache.store("100", 5.0, FAST, "hybrid", 1, outcome)
+        reloaded = cache.load("100", 5.0, FAST, "hybrid", 1)
+        assert reloaded is not None
+        assert reloaded.windows == outcome.windows
+
+    def test_failed_serialization_cleans_up(self, tmp_path, monkeypatch):
+        cache = SweepCache(tmp_path)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("serializer died")
+
+        monkeypatch.setattr(json, "dumps", boom)
+        with pytest.raises(RuntimeError):
+            cache.store("100", 5.0, FAST, "hybrid", 1, self._outcome())
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestStageHook:
+    """Cache behaviour under the engine's lookup/store stage hook."""
+
+    SCALE = ExperimentScale(record_names=("100",), duration_s=5.0, max_windows=1)
+
+    def _sweep(self, cache):
+        return sweep_compression_ratios(
+            FAST, cr_values=(75.0,), methods=("hybrid",), scale=self.SCALE,
+            cache=cache,
+        )
+
+    def test_miss_then_hit_through_engine(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        first = self._sweep(cache)
+        assert cache.misses == 1 and cache.hits == 0
+        second = self._sweep(cache)
+        assert cache.hits == 1
+        assert second[0].outcomes == first[0].outcomes
+
+    def test_hit_skips_scheduling_entirely(self, tmp_path):
+        from repro.runtime.engine import ExecutionEngine, RecordJob
+
+        cache = SweepCache(tmp_path)
+        rec = load_record("100", duration_s=5.0)
+        job = RecordJob(record=rec, config=FAST, method="hybrid", max_windows=1)
+        computed = ExecutionEngine(hooks=[cache.stage_hook()]).run_job(job)
+
+        class _Exploding:
+            name = "exploding"
+            effective_workers = 1
+
+            def run_tasks(self, tasks):
+                raise AssertionError("hit must not reach the executor")
+
+        again = ExecutionEngine(
+            executor=_Exploding(), hooks=[cache.stage_hook()]
+        ).run_job(job)
+        assert again.windows == computed.windows
+
+    def test_corrupted_file_recovers_through_hook(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        first = self._sweep(cache)
+        for path in tmp_path.glob("*.json"):
+            path.write_text("{not json")
+        recomputed = self._sweep(cache)
+        assert recomputed[0].outcomes == first[0].outcomes
+        # The corrupt file was replaced by a fresh, loadable one.
+        final = self._sweep(cache)
+        assert final[0].outcomes == first[0].outcomes
+        assert cache.hits == 1
+
+    def test_explicit_false_disables_env_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        self._sweep(False)
+        env_dir = tmp_path / "env-cache"
+        assert not env_dir.exists() or list(env_dir.glob("*.json")) == []
+
+
 class TestIntegration:
     def test_cached_sweep_matches_uncached(self, tmp_path):
         scale = ExperimentScale(record_names=("100",), duration_s=5.0, max_windows=1)

@@ -42,6 +42,32 @@ class TestBuildReport:
         assert "Artifacts present: 0/" in markdown
 
 
+class TestBenchSweepSection:
+    def test_absent_artifact_renders_nothing(self, results_dir):
+        markdown, present, _ = build_report(results_dir)
+        assert "Engine throughput" not in markdown
+        assert present == 2
+
+    def test_present_artifact_renders_without_counting(self, results_dir):
+        import json
+
+        (results_dir / "BENCH_sweep.json").write_text(json.dumps({
+            "workers": 2, "cpu_count": 4, "windows_total": 24,
+            "parallel": {"wall_clock_s": 1.5, "windows_per_sec": 16.0},
+            "speedup_windows_per_sec": 1.8,
+            "results_equal_serial": True,
+        }))
+        markdown, present, _ = build_report(results_dir)
+        assert present == 2  # informational, not a coverage artifact
+        assert "## Engine throughput (`repro bench`)" in markdown
+        assert "speedup over serial: 1.80x" in markdown
+
+    def test_corrupt_artifact_ignored(self, results_dir):
+        (results_dir / "BENCH_sweep.json").write_text("{broken")
+        markdown, _, _ = build_report(results_dir)
+        assert "Engine throughput" not in markdown
+
+
 class TestWriteReport:
     def test_default_location(self, results_dir):
         out = write_report(results_dir)

@@ -1,0 +1,220 @@
+"""Engine tests: planning, hooks, codebook specs, per-task seeding."""
+
+import numpy as np
+import pytest
+
+from repro.core.codebooks import CodebookKey, build_codebook, default_codebook
+from repro.core.config import FrontEndConfig
+from repro.core.outcomes import RecordOutcome
+from repro.recovery.pdhg import PdhgSettings
+from repro.runtime import (
+    STAGE_NAMES,
+    CodebookSpec,
+    ExecutionEngine,
+    RecordJob,
+    StageHook,
+    WindowTask,
+    execute_window_task,
+    task_seed,
+)
+from repro.signals.database import load_record
+
+FAST = FrontEndConfig(
+    window_len=128,
+    n_measurements=48,
+    solver=PdhgSettings(max_iter=400, tol=5e-4),
+)
+
+
+@pytest.fixture(scope="module")
+def record():
+    return load_record("100", duration_s=5.0)
+
+
+class TestStageGraph:
+    def test_stage_names(self):
+        assert STAGE_NAMES == ("encode", "transport", "recover", "score")
+
+
+class TestRecordJob:
+    def test_rejects_unknown_method(self, record):
+        with pytest.raises(ValueError, match="unknown method"):
+            RecordJob(record=record, config=FAST, method="magic")
+
+    def test_rejects_bad_max_windows(self, record):
+        with pytest.raises(ValueError):
+            RecordJob(record=record, config=FAST, max_windows=0)
+
+    def test_normal_jobs_get_no_codebook(self, record):
+        job = RecordJob(record=record, config=FAST, method="normal")
+        assert job.resolved_codebook_spec().kind == "none"
+
+    def test_hybrid_jobs_default_to_config_key(self, record):
+        job = RecordJob(record=record, config=FAST, method="hybrid")
+        spec = job.resolved_codebook_spec()
+        assert spec.kind == "default"
+        assert spec.key.lowres_bits == FAST.lowres_bits
+        assert spec.key.acquisition_bits == FAST.acquisition_bits
+
+    def test_explicit_codebook_spec_wins(self, record):
+        book = default_codebook(FAST.lowres_bits, FAST.acquisition_bits)
+        job = RecordJob(
+            record=record,
+            config=FAST,
+            codebook=CodebookSpec.from_object(book),
+        )
+        spec = job.resolved_codebook_spec()
+        assert spec.kind == "inline" and spec.inline is book
+
+
+class TestCodebookSpec:
+    def test_default_requires_key(self):
+        with pytest.raises(ValueError):
+            CodebookSpec(kind="default")
+
+    def test_inline_requires_object(self):
+        with pytest.raises(ValueError):
+            CodebookSpec(kind="inline")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            CodebookSpec(kind="telepathy")
+
+    def test_none_resolves_to_none(self):
+        assert CodebookSpec.none().resolve() is None
+
+    def test_default_resolves_via_builder_cache(self):
+        key = CodebookKey(lowres_bits=FAST.lowres_bits)
+        assert CodebookSpec.default(key).resolve() is build_codebook(key)
+
+    def test_key_validation(self):
+        with pytest.raises(ValueError):
+            CodebookKey(lowres_bits=0)
+        with pytest.raises(ValueError):
+            CodebookKey(lowres_bits=7, train_records=())
+
+
+class TestTaskSeed:
+    def test_deterministic_and_distinct(self):
+        assert task_seed("100", "hybrid", 0) == task_seed("100", "hybrid", 0)
+        seeds = {
+            task_seed(name, method, idx)
+            for name in ("100", "101")
+            for method in ("hybrid", "normal")
+            for idx in range(3)
+        }
+        assert len(seeds) == 12
+
+    def test_task_validation(self):
+        codes = np.zeros(FAST.window_len, dtype=np.int64)
+        with pytest.raises(ValueError):
+            WindowTask(
+                record_name="100",
+                method="magic",
+                window_index=0,
+                codes=codes,
+                config=FAST,
+                codebook=CodebookSpec.none(),
+                seed=0,
+            )
+        with pytest.raises(ValueError):
+            WindowTask(
+                record_name="100",
+                method="normal",
+                window_index=-1,
+                codes=codes,
+                config=FAST,
+                codebook=CodebookSpec.none(),
+                seed=0,
+            )
+
+
+class TestPlanning:
+    def test_plan_expands_windows_in_order(self, record):
+        engine = ExecutionEngine()
+        job = RecordJob(record=record, config=FAST, max_windows=3)
+        tasks = engine.plan(job)
+        assert [t.window_index for t in tasks] == [0, 1, 2]
+        assert all(t.record_name == "100" for t in tasks)
+        assert all(t.codes.shape == (FAST.window_len,) for t in tasks)
+
+    def test_plan_without_cap_uses_all_full_windows(self, record):
+        tasks = ExecutionEngine().plan(RecordJob(record=record, config=FAST))
+        assert len(tasks) == record.window_count(FAST.window_len)
+
+    def test_short_record_raises(self):
+        short = load_record("100", duration_s=5.0)
+        big = FrontEndConfig(window_len=4096, n_measurements=96)
+        with pytest.raises(ValueError, match="shorter than one"):
+            ExecutionEngine().run_job(RecordJob(record=short, config=big))
+
+
+class _CountingHook(StageHook):
+    def __init__(self, canned=None):
+        self.canned = canned
+        self.lookups = 0
+        self.stored = []
+
+    def lookup(self, job):
+        self.lookups += 1
+        return self.canned
+
+    def store(self, job, outcome):
+        self.stored.append((job.record.name, outcome))
+
+
+class TestStageHooks:
+    def test_hit_skips_scheduling(self, record):
+        outcome = ExecutionEngine().run_job(
+            RecordJob(record=record, config=FAST, method="normal", max_windows=1)
+        )
+        hook = _CountingHook(canned=outcome)
+
+        class _Exploding:
+            name = "exploding"
+            effective_workers = 1
+
+            def run_tasks(self, tasks):
+                raise AssertionError("cache hit must not schedule tasks")
+
+        engine = ExecutionEngine(executor=_Exploding(), hooks=[hook])
+        got = engine.run_job(
+            RecordJob(record=record, config=FAST, method="normal", max_windows=1)
+        )
+        assert got is outcome
+        assert hook.lookups == 1
+        assert hook.stored == []  # hits are not re-stored
+
+    def test_miss_computes_and_stores(self, record):
+        hook = _CountingHook(canned=None)
+        engine = ExecutionEngine(hooks=[hook])
+        got = engine.run_job(
+            RecordJob(record=record, config=FAST, method="normal", max_windows=1)
+        )
+        assert isinstance(got, RecordOutcome)
+        assert hook.lookups == 1
+        assert [name for name, _ in hook.stored] == ["100"]
+        assert hook.stored[0][1] is got
+
+    def test_mixed_hits_preserve_job_order(self, record):
+        jobs = [
+            RecordJob(record=record, config=FAST, method="normal", max_windows=1),
+            RecordJob(record=record, config=FAST, method="normal", max_windows=2),
+        ]
+        plain = ExecutionEngine().run_jobs(jobs)
+
+        class _FirstOnly(StageHook):
+            def lookup(self, job):
+                return plain[0] if job.max_windows == 1 else None
+
+        mixed = ExecutionEngine(hooks=[_FirstOnly()]).run_jobs(jobs)
+        assert mixed[0] is plain[0]
+        assert mixed[1] == plain[1]
+
+
+class TestExecuteWindowTask:
+    def test_matches_engine_window(self, record):
+        engine = ExecutionEngine()
+        job = RecordJob(record=record, config=FAST, method="normal", max_windows=1)
+        task = engine.plan(job)[0]
+        assert execute_window_task(task) == engine.run_job(job).windows[0]

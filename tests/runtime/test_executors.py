@@ -1,0 +1,119 @@
+"""Executor contract tests: ordering, bounding, serial/parallel equivalence."""
+
+import pytest
+
+from repro.core.config import FrontEndConfig
+from repro.core.pipeline import run_database, run_record
+from repro.experiments.runner import ExperimentScale, sweep_compression_ratios
+from repro.recovery.pdhg import PdhgSettings
+from repro.runtime import (
+    ParallelExecutor,
+    SerialExecutor,
+    executor_from_workers,
+)
+from repro.signals.database import load_record
+
+FAST = FrontEndConfig(
+    window_len=128,
+    n_measurements=48,
+    solver=PdhgSettings(max_iter=400, tol=5e-4),
+)
+
+SCALE = ExperimentScale(record_names=("100", "101"), duration_s=5.0, max_windows=2)
+
+
+class TestExecutorFromWorkers:
+    @pytest.mark.parametrize("workers", [None, 0, 1])
+    def test_serial_choices(self, workers):
+        assert isinstance(executor_from_workers(workers), SerialExecutor)
+
+    def test_parallel_choice(self):
+        ex = executor_from_workers(3)
+        assert isinstance(ex, ParallelExecutor)
+        assert ex.workers == 3
+        assert ex.effective_workers == 3
+
+    def test_serial_effective_workers(self):
+        assert SerialExecutor().effective_workers == 1
+
+
+class TestParallelExecutorValidation:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(workers=0)
+
+    def test_rejects_bad_inflight(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(workers=2, max_inflight=0)
+
+    def test_default_inflight_scales_with_workers(self):
+        assert ParallelExecutor(workers=3).max_inflight == 12
+
+    def test_empty_task_list(self):
+        assert ParallelExecutor(workers=2).run_tasks([]) == []
+
+
+class TestSerialParallelEquivalence:
+    """The acceptance criterion: parallel results are bit-identical."""
+
+    @pytest.fixture(scope="class")
+    def serial_points(self):
+        return sweep_compression_ratios(
+            FAST,
+            cr_values=(75.0, 88.0),
+            methods=("hybrid", "normal"),
+            scale=SCALE,
+            cache=False,
+            executor=SerialExecutor(),
+        )
+
+    @pytest.mark.parametrize("max_inflight", [None, 1])
+    def test_sweep_bit_identical(self, serial_points, max_inflight):
+        parallel_points = sweep_compression_ratios(
+            FAST,
+            cr_values=(75.0, 88.0),
+            methods=("hybrid", "normal"),
+            scale=SCALE,
+            cache=False,
+            executor=ParallelExecutor(workers=2, max_inflight=max_inflight),
+        )
+        assert len(parallel_points) == len(serial_points)
+        for serial, parallel in zip(serial_points, parallel_points):
+            assert parallel.cr_percent == serial.cr_percent
+            assert parallel.method == serial.method
+            assert parallel.n_measurements == serial.n_measurements
+            # Frozen dataclass equality covers PRD, SNR, budgets and
+            # solver diagnostics field by field, exactly.
+            assert parallel.outcomes == serial.outcomes
+
+    def test_run_record_parallel_matches_serial(self):
+        record = load_record("100", duration_s=5.0)
+        serial = run_record(record, FAST, max_windows=3)
+        parallel = run_record(
+            record,
+            FAST,
+            max_windows=3,
+            executor=ParallelExecutor(workers=2),
+        )
+        assert parallel == serial
+
+    def test_run_database_parallel_matches_serial(self):
+        records = [load_record(n, duration_s=5.0) for n in ("100", "101")]
+        serial = run_database(records, FAST, method="normal", max_windows=2)
+        parallel = run_database(
+            records,
+            FAST,
+            method="normal",
+            max_windows=2,
+            executor=ParallelExecutor(workers=2),
+        )
+        assert parallel == serial
+
+    def test_single_task_uses_inprocess_fallback(self):
+        # One window -> the pool is skipped entirely but results agree.
+        record = load_record("100", duration_s=5.0)
+        serial = run_record(record, FAST, max_windows=1)
+        parallel = run_record(
+            record, FAST, max_windows=1, executor=ParallelExecutor(workers=2)
+        )
+        assert parallel == serial
