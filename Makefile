@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-smoke bench-full report examples clean-cache
+.PHONY: install test lint bench bench-smoke bench-full stream-smoke report examples clean-cache
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -22,6 +22,12 @@ bench:
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --smoke --workers 2 \
 		--output benchmarks/results/BENCH_sweep.json
+
+# 4-patient online streaming run over a 10% lossy link through the
+# multi-session gateway; writes the final telemetry snapshot.
+stream-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli stream --patients 4 --duration 10 \
+		--workers 2 --output benchmarks/results/STREAM_smoke.json
 
 bench-full:
 	REPRO_BENCH_SCALE=full REPRO_CACHE_DIR=.repro_cache \

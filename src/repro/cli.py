@@ -8,7 +8,11 @@ The subcommands cover the everyday workflows:
   solves out over processes);
 * ``repro bench``      — a timed CR sweep through the staged execution
   engine, emitting machine-readable ``BENCH_sweep.json`` throughput
-  numbers (``--workers``, ``--smoke``, ``--compare-serial``);
+  numbers plus a streaming-gateway section (``--workers``, ``--smoke``,
+  ``--compare-serial``);
+* ``repro stream``     — the multi-patient streaming telemetry gateway:
+  N synthetic patients through a lossy link into a ``StreamGateway``,
+  with periodic snapshots (see ``docs/streaming.md``);
 * ``repro tradeoff``   — the low-resolution channel design table
   (Figs. 5-6 / Table I in one view);
 * ``repro power``      — the Section VI power comparison for a given pair
@@ -28,6 +32,20 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 __all__ = ["build_parser", "main"]
+
+
+def _add_workers_option(parser: argparse.ArgumentParser, default: int = 1) -> None:
+    """The one shared ``--workers`` knob (resolved by executor_from_workers).
+
+    Every subcommand that fans window solves out over processes adds the
+    flag through here, so the semantics stay uniform: ``1`` = serial,
+    ``0`` = all CPUs, ``N`` = that many worker processes.
+    """
+    parser.add_argument(
+        "--workers", type=int, default=default,
+        help="worker processes for window solves "
+             f"(1 = serial, 0 = all CPUs; default {default})",
+    )
 
 
 def _cmd_synthesize(args: argparse.Namespace) -> int:
@@ -168,7 +186,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         sweep_compression_ratios,
     )
     from repro.recovery.pdhg import PdhgSettings
-    from repro.runtime.executors import executor_from_workers
+    from repro.runtime.executors import (
+        executor_from_workers,
+        resolve_worker_count,
+    )
+    from repro.stream.driver import StreamScenario, run_stream_scenario
 
     records = tuple(args.records) if args.records else (
         ("100", "101") if args.smoke else ("100", "101", "103", "107")
@@ -182,7 +204,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         else (3 if args.smoke else 2)
     )
     compare_serial = args.compare_serial or args.smoke
-    workers = args.workers if args.workers else (os.cpu_count() or 1)
+    workers = resolve_worker_count(args.workers)
     methods = ("hybrid", "normal")
 
     config = FrontEndConfig(
@@ -257,6 +279,38 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"(results identical: {results_equal})"
         )
 
+    # Streaming-gateway throughput: a short multi-patient run through a
+    # 10% erasure link, reported next to the batch numbers.
+    stream_patients = 2 if args.smoke else 4
+    stream_duration = 6.0 if args.smoke else 15.0
+    stream_snapshot = run_stream_scenario(
+        StreamScenario(
+            patients=stream_patients,
+            duration_s=stream_duration,
+            config=config,
+            erasure_rate=0.1,
+        ),
+        executor=executor_from_workers(workers),
+    )
+    stream_stats = {
+        "sessions": stream_snapshot.sessions,
+        "duration_s": stream_duration,
+        "erasure_rate": 0.1,
+        "frames_total": stream_snapshot.windows_completed,
+        "frames_per_sec": stream_snapshot.reconstructed_per_sec,
+        "latency_p50_s": stream_snapshot.latency_p50_s,
+        "latency_p95_s": stream_snapshot.latency_p95_s,
+        "concealed": stream_snapshot.concealed,
+        "cs_fallbacks": stream_snapshot.cs_fallbacks,
+        "queue_drops": stream_snapshot.queue_drops,
+    }
+    rate = stream_stats["frames_per_sec"]
+    rate_txt = f"{rate:.1f} frames/s" if rate is not None else "n/a"
+    print(
+        f"stream:   {stream_stats['sessions']} sessions, "
+        f"{stream_stats['frames_total']} frames ({rate_txt})"
+    )
+
     payload = {
         "schema": "repro-bench-sweep/v1",
         "smoke": bool(args.smoke),
@@ -273,6 +327,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "serial": serial_stats,
         "speedup_windows_per_sec": speedup,
         "results_equal_serial": results_equal,
+        "stream": stream_stats,
         "points": [
             {
                 "cr_percent": p.cr_percent,
@@ -288,6 +343,60 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out}")
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.core.config import FrontEndConfig
+    from repro.recovery.pdhg import PdhgSettings
+    from repro.runtime.executors import executor_from_workers
+    from repro.stream.driver import StreamScenario, run_stream_scenario
+
+    config = FrontEndConfig(
+        window_len=args.window,
+        n_measurements=args.measurements,
+        lowres_bits=args.lowres_bits,
+        solver=PdhgSettings(max_iter=args.max_iter),
+    )
+    scenario = StreamScenario(
+        patients=args.patients,
+        duration_s=args.duration,
+        config=config,
+        method=args.method,
+        chunk_size=args.chunk,
+        erasure_rate=args.erasure_rate,
+        bit_error_rate=args.bit_error_rate,
+        seed=args.seed,
+        queue_capacity=args.queue_capacity,
+        reorder_depth=args.reorder_depth,
+        poll_every=args.poll_every,
+    )
+    print(
+        f"streaming {scenario.patients} patients x {scenario.duration_s:g} s "
+        f"(erasure {scenario.erasure_rate:.0%}, BER {scenario.bit_error_rate:g}, "
+        f"chunk {scenario.chunk_size})"
+    )
+    final = run_stream_scenario(
+        scenario,
+        executor=executor_from_workers(args.workers),
+        on_snapshot=lambda snap: print(snap.summary_line()),
+    )
+    print(final.summary_line())
+    per_patient_prd = ", ".join(
+        f"{s.patient_id}: "
+        + (
+            f"{s.rolling_prd_percent:.2f}%"
+            if s.rolling_prd_percent is not None
+            else "-"
+        )
+        for s in final.per_session
+    )
+    print(f"rolling PRD by patient: {per_patient_prd}")
+    if args.output:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(final.to_json() + "\n")
+        print(f"wrote {out}")
     return 0
 
 
@@ -357,8 +466,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=30.0)
     p.add_argument("--max-windows", type=int, default=4)
     p.add_argument("--max-iter", type=int, default=3000)
-    p.add_argument("--workers", type=int, default=1,
-                   help="worker processes for window solves (1 = serial)")
+    _add_workers_option(p, default=1)
     p.set_defaults(func=_cmd_compress)
 
     p = sub.add_parser(
@@ -369,8 +477,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--records", nargs="*", help="record names to sweep")
     p.add_argument("--crs", nargs="*", type=float, metavar="CR",
                    help="CS-channel CR values in percent")
-    p.add_argument("--workers", type=int, default=0,
-                   help="worker processes (default: all CPUs)")
+    _add_workers_option(p, default=0)
     p.add_argument("--window", type=int, default=512)
     p.add_argument("--lowres-bits", type=int, default=7)
     p.add_argument("--duration", type=float, default=30.0)
@@ -384,6 +491,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", "-o", default="benchmarks/results/BENCH_sweep.json",
                    help="where to write the machine-readable result")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "stream",
+        help="online multi-patient streaming demo over a lossy link",
+    )
+    p.add_argument("--patients", type=int, default=4,
+                   help="concurrent synthetic patient streams")
+    p.add_argument("--duration", type=float, default=10.0,
+                   help="seconds of signal per patient")
+    p.add_argument("--method", choices=("hybrid", "normal"), default="hybrid")
+    p.add_argument("--window", type=int, default=512)
+    p.add_argument("--measurements", "-m", type=int, default=96)
+    p.add_argument("--lowres-bits", type=int, default=7)
+    p.add_argument("--max-iter", type=int, default=3000)
+    p.add_argument("--chunk", type=int, default=181,
+                   help="samples per playback chunk (window-misaligned by "
+                        "default to exercise the incremental framer)")
+    p.add_argument("--erasure-rate", type=float, default=0.1,
+                   help="per-frame packet erasure probability")
+    p.add_argument("--bit-error-rate", type=float, default=0.0,
+                   help="per-bit flip probability on surviving frames")
+    p.add_argument("--seed", type=int, default=0, help="base channel seed")
+    p.add_argument("--queue-capacity", type=int, default=64,
+                   help="per-session ingress queue bound (drop-oldest)")
+    p.add_argument("--reorder-depth", type=int, default=4,
+                   help="windows a frame may run ahead before a gap is "
+                        "declared lost and concealed")
+    p.add_argument("--poll-every", type=int, default=8,
+                   help="gateway poll cadence, in playback chunks")
+    _add_workers_option(p, default=1)
+    p.add_argument("--output", "-o",
+                   help="also write the final gateway snapshot as JSON")
+    p.set_defaults(func=_cmd_stream)
 
     p = sub.add_parser("tradeoff", help="low-res channel design table")
     p.add_argument("--records", nargs="*", help="training/eval records")

@@ -28,7 +28,7 @@ from repro.core.config import FrontEndConfig
 from repro.core.packets import WindowPacket
 from repro.core.receiver import HybridReceiver, WindowReconstruction
 
-__all__ = ["LossyLink", "RobustReceiver", "payload_crc"]
+__all__ = ["LossyLink", "RobustReceiver", "payload_crc", "decode_robust"]
 
 
 def payload_crc(packet: WindowPacket) -> int:
@@ -37,6 +37,50 @@ def payload_crc(packet: WindowPacket) -> int:
     h = zlib.crc32(packet.lowres_payload, h)
     h = zlib.crc32(packet.lowres_bit_length.to_bytes(4, "little"), h)
     return h & 0xFFFFFFFF
+
+
+def decode_robust(
+    packet: WindowPacket,
+    expected_crc: Optional[int],
+    receiver: HybridReceiver,
+    fallback_receiver: Optional[HybridReceiver] = None,
+) -> Tuple[WindowReconstruction, str]:
+    """Stateless CRC-checked decode with CS-only fallback for one packet.
+
+    The per-packet half of :class:`RobustReceiver`'s strategy — no
+    concealment state, so it is safe to fan out across processes (the
+    streaming gateway's recovery workers call it directly):
+
+    * low-res payload present and CRC matching (or unchecked) → hybrid
+      Eq. 1 solve;
+    * CRC mismatch or payload desync during decode → strip the payload
+      and recover from the CS measurements alone.
+
+    Returns ``(reconstruction, mode)`` with mode ``"hybrid"`` or
+    ``"cs-fallback"``.  ``fallback_receiver`` defaults to ``receiver``
+    (a hybrid receiver solves a stripped packet with plain BPDN).
+    """
+    if fallback_receiver is None:
+        fallback_receiver = receiver
+    use_hybrid = packet.lowres_bit_length > 0
+    if use_hybrid and expected_crc is not None:
+        use_hybrid = payload_crc(packet) == expected_crc
+
+    if use_hybrid:
+        try:
+            return receiver.reconstruct(packet), "hybrid"
+        except (ValueError, EOFError):  # reprolint: disable=RL006 -- deliberate CS-only fallback on payload desync, mode is reported to the caller
+            pass  # desynchronized payload: fall back below
+
+    stripped = WindowPacket(
+        window_index=packet.window_index,
+        n=packet.n,
+        measurement_codes=packet.measurement_codes,
+        measurement_bits=packet.measurement_bits,
+        lowres_payload=b"",
+        lowres_bit_length=0,
+    )
+    return fallback_receiver.reconstruct(stripped), "cs-fallback"
 
 
 @dataclass
@@ -165,29 +209,11 @@ class RobustReceiver:
         if packet is None:
             return self._conceal(window_index), "concealed"
 
-        use_hybrid = packet.lowres_bit_length > 0
-        if use_hybrid and expected_crc is not None:
-            use_hybrid = payload_crc(packet) == expected_crc
-
-        if use_hybrid:
-            try:
-                recon = self._receiver.reconstruct(packet)
-                self._last_codes = recon.x_codes
-                return recon, "hybrid"
-            except (ValueError, EOFError):  # reprolint: disable=RL006 -- deliberate CS-only fallback on payload desync, mode is reported to the caller
-                pass  # desynchronized payload: fall back below
-
-        stripped = WindowPacket(
-            window_index=packet.window_index,
-            n=packet.n,
-            measurement_codes=packet.measurement_codes,
-            measurement_bits=packet.measurement_bits,
-            lowres_payload=b"",
-            lowres_bit_length=0,
+        recon, mode = decode_robust(
+            packet, expected_crc, self._receiver, self._normal_receiver
         )
-        recon = self._normal_receiver.reconstruct(stripped)
         self._last_codes = recon.x_codes
-        return recon, "cs-fallback"
+        return recon, mode
 
     def receive_stream(
         self,

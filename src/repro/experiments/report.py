@@ -106,6 +106,29 @@ def bench_sweep_section(results_dir: Path) -> str:
             f"- speedup over serial: {speedup:.2f}x "
             f"(results identical: {data.get('results_equal_serial')})"
         )
+    stream = data.get("stream")
+    if stream:
+        lines += ["", "### Streaming gateway (`repro stream`)", ""]
+        rate = stream.get("frames_per_sec")
+        lines.append(
+            f"- sessions: {stream.get('sessions')} x "
+            f"{stream.get('duration_s')} s @ "
+            f"{stream.get('erasure_rate', 0) * 100:.0f}% erasure"
+        )
+        lines.append(
+            f"- frames: {stream.get('frames_total')}"
+            + (f" @ {rate:.1f} frames/s" if rate is not None else "")
+        )
+        p50, p95 = stream.get("latency_p50_s"), stream.get("latency_p95_s")
+        if p50 is not None and p95 is not None:
+            lines.append(
+                f"- latency: p50 {p50 * 1e3:.0f} ms / p95 {p95 * 1e3:.0f} ms"
+            )
+        lines.append(
+            f"- loss handling: concealed {stream.get('concealed')}, "
+            f"CS fallbacks {stream.get('cs_fallbacks')}, "
+            f"queue drops {stream.get('queue_drops')}"
+        )
     lines.append("")
     return "\n".join(lines)
 

@@ -19,8 +19,9 @@ from repro.runtime.executors import (
     ParallelExecutor,
     SerialExecutor,
     executor_from_workers,
+    resolve_worker_count,
 )
-from repro.runtime.stages import STAGE_NAMES, execute_window_task
+from repro.runtime.stages import STAGE_NAMES, execute_window_task, link_for_params
 from repro.runtime.task import CodebookSpec, WindowTask, task_seed
 
 __all__ = [
@@ -35,5 +36,7 @@ __all__ = [
     "WindowTask",
     "execute_window_task",
     "executor_from_workers",
+    "link_for_params",
+    "resolve_worker_count",
     "task_seed",
 ]

@@ -12,6 +12,12 @@ ordered, one outcome per task):
   computed on more cores.  Submission is bounded (default
   ``4 × workers`` outstanding futures) so a 48-record × 9-CR × 2-method
   grid never materialises thousands of pickled pending futures at once.
+
+The task function defaults to the batch pipeline's
+:func:`~repro.runtime.stages.execute_window_task` but any module-level
+(picklable) pure function can be fanned out — the streaming gateway
+(:mod:`repro.stream`) ships its per-window recovery solves through the
+same executors with ``fn=execute_recovery_task``.
 """
 
 from __future__ import annotations
@@ -19,29 +25,37 @@ from __future__ import annotations
 import concurrent.futures
 import os
 from abc import ABC, abstractmethod
-from typing import List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
-from repro.core.outcomes import WindowOutcome
 from repro.runtime.stages import execute_window_task
-from repro.runtime.task import WindowTask
 
 __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
     "executor_from_workers",
+    "resolve_worker_count",
 ]
 
 
 class Executor(ABC):
-    """Maps window tasks to outcomes, preserving input order."""
+    """Maps task units to results, preserving input order.
+
+    Tasks are opaque picklable values; ``fn`` is the pure function that
+    turns one task into one result (default: the batch stage graph's
+    :func:`~repro.runtime.stages.execute_window_task`).
+    """
 
     #: Human-readable executor name (benchmark artifacts record it).
     name: str = "executor"
 
     @abstractmethod
-    def run_tasks(self, tasks: Sequence[WindowTask]) -> List[WindowOutcome]:
-        """Execute every task; outcome ``i`` corresponds to task ``i``."""
+    def run_tasks(
+        self,
+        tasks: Sequence[Any],
+        fn: Callable[[Any], Any] = execute_window_task,
+    ) -> List[Any]:
+        """Execute every task; result ``i`` corresponds to task ``i``."""
 
     @property
     def effective_workers(self) -> int:
@@ -54,9 +68,13 @@ class SerialExecutor(Executor):
 
     name = "serial"
 
-    def run_tasks(self, tasks: Sequence[WindowTask]) -> List[WindowOutcome]:
-        """Execute tasks one by one; outcome order matches task order."""
-        return [execute_window_task(task) for task in tasks]
+    def run_tasks(
+        self,
+        tasks: Sequence[Any],
+        fn: Callable[[Any], Any] = execute_window_task,
+    ) -> List[Any]:
+        """Execute tasks one by one; result order matches task order."""
+        return [fn(task) for task in tasks]
 
 
 class ParallelExecutor(Executor):
@@ -100,14 +118,22 @@ class ParallelExecutor(Executor):
         """The configured worker-process count."""
         return self.workers
 
-    def run_tasks(self, tasks: Sequence[WindowTask]) -> List[WindowOutcome]:
-        """Execute tasks across the pool; outcome order matches task order."""
+    def run_tasks(
+        self,
+        tasks: Sequence[Any],
+        fn: Callable[[Any], Any] = execute_window_task,
+    ) -> List[Any]:
+        """Execute tasks across the pool; result order matches task order.
+
+        ``fn`` must be a module-level function so it can be pickled to
+        the workers.
+        """
         tasks = list(tasks)
         if len(tasks) <= 1 or self.workers == 1:
             # Not worth a pool; also keeps the single-task path trivially
             # debuggable.
-            return SerialExecutor().run_tasks(tasks)
-        results: List[Optional[WindowOutcome]] = [None] * len(tasks)
+            return SerialExecutor().run_tasks(tasks, fn)
+        results: List[Optional[Any]] = [None] * len(tasks)
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=self.workers
         ) as pool:
@@ -121,7 +147,7 @@ class ParallelExecutor(Executor):
                     except StopIteration:
                         exhausted = True
                         break
-                    pending[pool.submit(execute_window_task, task)] = index
+                    pending[pool.submit(fn, task)] = index
                 if not pending:
                     break
                 done, _ = concurrent.futures.wait(
@@ -134,12 +160,28 @@ class ParallelExecutor(Executor):
         return results  # type: ignore[return-value]
 
 
+def resolve_worker_count(workers: Optional[int]) -> int:
+    """Concrete worker count for a ``--workers N`` knob.
+
+    ``None`` or ``0`` mean "use every CPU"; any other value is taken
+    as-is (validated to be positive).
+    """
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError("workers cannot be negative")
+    return int(workers)
+
+
 def executor_from_workers(workers: Optional[int]) -> Executor:
     """Executor for a ``--workers N`` style knob.
 
-    ``None``, ``0`` or ``1`` select the serial executor; anything larger
-    selects a parallel executor with that many processes.
+    The single worker-selection policy every CLI subcommand shares:
+    ``1`` (or ``None``) selects the serial executor, ``0`` means "all
+    CPUs", and anything larger selects a parallel executor with that
+    many processes.  A resolved count of one collapses to serial.
     """
-    if workers is None or workers <= 1:
+    count = resolve_worker_count(workers if workers is not None else 1)
+    if count <= 1:
         return SerialExecutor()
-    return ParallelExecutor(workers=workers)
+    return ParallelExecutor(workers=count)

@@ -36,6 +36,7 @@ __all__ = [
     "STAGE_NAMES",
     "Link",
     "link_for",
+    "link_for_params",
     "reference_centered",
     "encode",
     "transport",
@@ -91,21 +92,34 @@ _INLINE_LINKS: "OrderedDict[Tuple[FrontEndConfig, str, int], Tuple[CodebookSpec,
 _INLINE_LINKS_MAX = 8
 
 
-def link_for(task: WindowTask) -> Link:
-    """The per-process front-end/receiver pair for a task's parameters."""
-    spec = task.codebook
+def link_for_params(
+    config: FrontEndConfig, method: str, spec: CodebookSpec
+) -> Link:
+    """The per-process front-end/receiver pair for explicit parameters.
+
+    This is the memoization point shared by the batch stage graph
+    (:func:`link_for`) and the streaming recovery workers
+    (:func:`repro.stream.session.execute_recovery_task`): any process
+    pays the Φ/Ψ construction cost once per distinct
+    ``(config, method, codebook)`` triple.
+    """
     if spec.is_hashable:
-        return _cached_link(task.config, task.method, spec)
-    key = (task.config, task.method, id(spec.inline))
+        return _cached_link(config, method, spec)
+    key = (config, method, id(spec.inline))
     hit = _INLINE_LINKS.get(key)
     if hit is not None:
         _INLINE_LINKS.move_to_end(key)
         return hit[1]
-    link = _build_link(task.config, task.method, spec)
+    link = _build_link(config, method, spec)
     _INLINE_LINKS[key] = (spec, link)
     while len(_INLINE_LINKS) > _INLINE_LINKS_MAX:
         _INLINE_LINKS.popitem(last=False)
     return link
+
+
+def link_for(task: WindowTask) -> Link:
+    """The per-process front-end/receiver pair for a task's parameters."""
+    return link_for_params(task.config, task.method, task.codebook)
 
 
 def reference_centered(codes: np.ndarray, center: int) -> np.ndarray:

@@ -45,6 +45,8 @@ __all__ = [
     "load_database",
     "SyntheticDatabase",
     "DEFAULT_RECORD_DURATION_S",
+    "iter_record_chunks",
+    "interleave_playback",
 ]
 
 #: The 48 record names of the MIT-BIH Arrhythmia Database.
@@ -314,6 +316,50 @@ def load_database(
         for n in selected
     )
     return SyntheticDatabase(records)
+
+
+def iter_record_chunks(
+    record: Record, chunk_size: int
+) -> Iterator[np.ndarray]:
+    """Play a record back as successive fixed-size sample chunks.
+
+    Yields the record's raw ADU samples in arrival order as 1-D integer
+    arrays of shape ``(chunk_size,)`` (the final chunk may be shorter).
+    Purely index-driven — no sleeps, no wall clock — so streaming tests
+    replay a "live" acquisition deterministically.
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    for start in range(0, len(record), chunk_size):
+        yield record.adu[start : start + chunk_size]
+
+
+def interleave_playback(
+    records: Sequence[Record], chunk_size: int
+) -> Iterator[Tuple[str, np.ndarray]]:
+    """Round-robin chunked playback across several records.
+
+    Yields ``(record_name, chunk)`` pairs, cycling through the records
+    in order and emitting one ``chunk_size`` slice from each per cycle
+    (chunks are 1-D integer arrays; a record's final chunk may be
+    shorter).  Records that run out simply drop from the rotation, so
+    differing record lengths are fine.  The ordering is a deterministic
+    function of the inputs alone — this is how the ``repro stream``
+    driver simulates N concurrent patients without any wall-clock
+    dependency.
+    """
+    if not records:
+        raise ValueError("need at least one record")
+    streams = [(rec.name, iter_record_chunks(rec, chunk_size)) for rec in records]
+    while streams:
+        still_live = []
+        for name, chunks in streams:
+            chunk = next(chunks, None)
+            if chunk is None:
+                continue
+            still_live.append((name, chunks))
+            yield name, chunk
+        streams = still_live
 
 
 @dataclass(frozen=True)

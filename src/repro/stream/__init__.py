@@ -1,0 +1,45 @@
+"""Real-time multi-patient streaming telemetry over the CS front-end.
+
+The serving layer the paper's deployment story implies: the batch
+pipeline turned online.  Per-patient
+:class:`~repro.stream.ingest.IngestSession`\\ s window and encode live
+sample streams (bit-identical to the batch encoder),
+:class:`~repro.stream.session.PatientSession`\\ s reconstruct frame
+streams under loss/reordering with CRC fallback and zero-order-hold
+concealment, and a :class:`~repro.stream.gateway.StreamGateway` serves
+many sessions at once with bounded queues, an explicit drop-oldest
+backpressure policy, and recovery-solve fan-out through the
+:mod:`repro.runtime` executors.  See ``docs/streaming.md``.
+"""
+
+from repro.stream.driver import StreamScenario, run_stream_scenario
+from repro.stream.gateway import BoundedQueue, StreamGateway
+from repro.stream.ingest import IngestSession, StreamFrame, codebook_spec_for
+from repro.stream.metrics import GatewaySnapshot, RollingStat, SessionSnapshot
+from repro.stream.session import (
+    PatientSession,
+    PlannedWindow,
+    RecoveredWindow,
+    RecoveryTask,
+    SignalRing,
+    execute_recovery_task,
+)
+
+__all__ = [
+    "BoundedQueue",
+    "GatewaySnapshot",
+    "IngestSession",
+    "PatientSession",
+    "PlannedWindow",
+    "RecoveredWindow",
+    "RecoveryTask",
+    "RollingStat",
+    "SessionSnapshot",
+    "SignalRing",
+    "StreamFrame",
+    "StreamGateway",
+    "StreamScenario",
+    "codebook_spec_for",
+    "execute_recovery_task",
+    "run_stream_scenario",
+]

@@ -102,6 +102,36 @@ class TestSerialization:
         assert np.array_equal(q.measurement_codes, codes)
         assert q.window_index == index
 
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(1, 4096),
+        m=st.integers(1, 96),
+        bits=st.integers(1, 16),
+        payload_bits=st.integers(0, 512),
+        index=st.integers(0, 2**32 - 1),
+        seed=st.integers(0, 2**16),
+    )
+    def test_roundtrip_fuzz_full_frame(self, n, m, bits, payload_bits,
+                                       index, seed):
+        # Full-frame fuzz: every header field, the code vector and the
+        # payload bits must survive to_bytes -> from_bytes byte-exactly.
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 1 << bits, size=m)
+        payload = bytes(rng.integers(0, 256, size=(payload_bits + 7) // 8))
+        p = WindowPacket(
+            window_index=index, n=n,
+            measurement_codes=codes, measurement_bits=bits,
+            lowres_payload=payload, lowres_bit_length=payload_bits,
+        )
+        q = WindowPacket.from_bytes(p.to_bytes(), measurement_bits=bits)
+        assert q.window_index == index
+        assert q.n == n
+        assert q.measurement_bits == bits
+        assert q.lowres_bit_length == payload_bits
+        assert np.array_equal(q.measurement_codes, codes)
+        assert q.to_bytes() == p.to_bytes()
+        assert len(p.to_bytes()) == (p.total_bits + 7) // 8
+
 
 class TestSplitStream:
     def test_back_to_back_frames(self):

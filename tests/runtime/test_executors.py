@@ -1,5 +1,7 @@
 """Executor contract tests: ordering, bounding, serial/parallel equivalence."""
 
+import os
+
 import pytest
 
 from repro.core.config import FrontEndConfig
@@ -10,6 +12,7 @@ from repro.runtime import (
     ParallelExecutor,
     SerialExecutor,
     executor_from_workers,
+    resolve_worker_count,
 )
 from repro.signals.database import load_record
 
@@ -23,9 +26,19 @@ SCALE = ExperimentScale(record_names=("100", "101"), duration_s=5.0, max_windows
 
 
 class TestExecutorFromWorkers:
-    @pytest.mark.parametrize("workers", [None, 0, 1])
+    @pytest.mark.parametrize("workers", [None, 1])
     def test_serial_choices(self, workers):
         assert isinstance(executor_from_workers(workers), SerialExecutor)
+
+    def test_zero_means_all_cpus(self):
+        # The shared --workers convention: 0 = one worker per CPU.
+        cpus = os.cpu_count() or 1
+        ex = executor_from_workers(0)
+        if cpus <= 1:
+            assert isinstance(ex, SerialExecutor)
+        else:
+            assert isinstance(ex, ParallelExecutor)
+            assert ex.workers == cpus
 
     def test_parallel_choice(self):
         ex = executor_from_workers(3)
@@ -35,6 +48,20 @@ class TestExecutorFromWorkers:
 
     def test_serial_effective_workers(self):
         assert SerialExecutor().effective_workers == 1
+
+
+class TestResolveWorkerCount:
+    def test_explicit_count_passes_through(self):
+        assert resolve_worker_count(3) == 3
+        assert resolve_worker_count(1) == 1
+
+    @pytest.mark.parametrize("workers", [None, 0])
+    def test_all_cpus_choices(self, workers):
+        assert resolve_worker_count(workers) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_worker_count(-1)
 
 
 class TestParallelExecutorValidation:

@@ -6,6 +6,8 @@ import pytest
 from repro.signals.database import (
     MITBIH_RECORD_NAMES,
     SyntheticDatabase,
+    interleave_playback,
+    iter_record_chunks,
     load_database,
     load_record,
     record_profile,
@@ -140,3 +142,62 @@ class TestDatabase:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             SyntheticDatabase(())
+
+
+class TestChunkedPlayback:
+    def test_chunks_reassemble_record(self):
+        rec = load_record("100", duration_s=3.0)
+        chunks = list(iter_record_chunks(rec, 181))
+        assert all(c.ndim == 1 for c in chunks)
+        assert all(len(c) == 181 for c in chunks[:-1])
+        assert np.array_equal(np.concatenate(chunks), rec.adu)
+
+    def test_exact_multiple_has_no_short_tail(self):
+        rec = load_record("100", duration_s=3.0)
+        size = len(rec) // 4
+        rec4 = load_record("100", duration_s=3.0)
+        chunks = list(iter_record_chunks(rec4, size))
+        # 4 full chunks plus (possibly) one short remainder.
+        assert all(len(c) == size for c in chunks[:4])
+        assert np.array_equal(np.concatenate(chunks), rec.adu)
+
+    def test_bad_chunk_size_rejected(self):
+        rec = load_record("100", duration_s=2.0)
+        with pytest.raises(ValueError):
+            next(iter_record_chunks(rec, 0))
+
+    def test_deterministic(self):
+        rec = load_record("100", duration_s=2.0)
+        a = [c.copy() for c in iter_record_chunks(rec, 97)]
+        b = list(iter_record_chunks(rec, 97))
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+        assert len(a) == len(b)
+
+
+class TestInterleavePlayback:
+    def test_round_robin_order(self):
+        recs = [load_record(n, duration_s=2.0) for n in ("100", "101")]
+        names = [name for name, _ in interleave_playback(recs, 500)]
+        # Equal-length records alternate strictly.
+        assert names[:4] == ["100", "101", "100", "101"]
+
+    def test_streams_reassemble_per_record(self):
+        recs = [load_record(n, duration_s=2.0) for n in ("100", "101", "103")]
+        per_name = {rec.name: [] for rec in recs}
+        for name, chunk in interleave_playback(recs, 113):
+            per_name[name].append(chunk)
+        for rec in recs:
+            assert np.array_equal(np.concatenate(per_name[rec.name]), rec.adu)
+
+    def test_shorter_record_drops_out(self):
+        long = load_record("100", duration_s=4.0)
+        short = load_record("101", duration_s=2.0)
+        names = [name for name, _ in interleave_playback([long, short], 360)]
+        assert names.count("101") < names.count("100")
+        # Once the short record is exhausted only the long one remains.
+        last_101 = max(i for i, n in enumerate(names) if n == "101")
+        assert set(names[last_101 + 1:]) == {"100"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            next(interleave_playback([], 100))

@@ -1,0 +1,32 @@
+"""Shared fixtures for the streaming tests.
+
+Everything here is sized for speed: n = 128 windows and a loose solver
+keep a full gateway run well under a second, and the config is shared so
+the per-process link cache is hit across tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FrontEndConfig
+from repro.recovery.pdhg import PdhgSettings
+from repro.signals.database import load_record
+
+STREAM_CONFIG = FrontEndConfig(
+    window_len=128,
+    n_measurements=48,
+    solver=PdhgSettings(max_iter=300, tol=5e-4),
+)
+
+
+@pytest.fixture(scope="package")
+def stream_config() -> FrontEndConfig:
+    """Small shared config so link caches are reused across tests."""
+    return STREAM_CONFIG
+
+
+@pytest.fixture(scope="package")
+def stream_record():
+    """A short record used as the canonical patient stream."""
+    return load_record("100", duration_s=4.0)

@@ -1,0 +1,37 @@
+"""CLI smoke tests for `repro stream`."""
+
+import json
+
+from repro.cli import main
+
+
+class TestStreamCommand:
+    def test_smoke_writes_snapshot(self, tmp_path, capsys):
+        out = tmp_path / "snap.json"
+        code = main(
+            [
+                "stream",
+                "--patients", "2",
+                "--duration", "2",
+                "--window", "128",
+                "--measurements", "48",
+                "--max-iter", "200",
+                "--chunk", "97",
+                "--erasure-rate", "0.2",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["schema"] == "repro-stream-snapshot/v1"
+        assert data["sessions"] == 2
+        assert data["windows_completed"] > 0
+        assert len(data["per_session"]) == 2
+        text = capsys.readouterr().out
+        assert "streaming 2 patients" in text
+        assert "rolling PRD by patient" in text
+
+    def test_invalid_patients_errors_cleanly(self, capsys):
+        code = main(["stream", "--patients", "0", "--duration", "2"])
+        assert code != 0
+        assert "error:" in capsys.readouterr().err

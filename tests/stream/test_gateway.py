@@ -1,0 +1,246 @@
+"""Gateway tests: routing, backpressure bounds, telemetry, loss handling."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.channel import LossyLink
+from repro.runtime.executors import ParallelExecutor
+from repro.signals.database import interleave_playback, load_record
+from repro.stream.driver import StreamScenario, run_stream_scenario
+from repro.stream.gateway import BoundedQueue, StreamGateway
+from repro.stream.ingest import IngestSession, StreamFrame
+
+
+class FakeClock:
+    """Deterministic monotonic clock advanced by hand."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestBoundedQueue:
+    def test_fifo_order(self):
+        q = BoundedQueue(4)
+        for i in range(3):
+            assert q.push(i)
+        assert [q.popleft() for _ in range(3)] == [0, 1, 2]
+
+    def test_overflow_drops_oldest(self):
+        q = BoundedQueue(2)
+        q.push("a")
+        q.push("b")
+        assert not q.push("c")
+        assert q.drops == 1
+        assert [q.popleft(), q.popleft()] == ["b", "c"]
+
+    def test_high_water_tracks_peak(self):
+        q = BoundedQueue(8)
+        for i in range(5):
+            q.push(i)
+        q.popleft()
+        assert q.high_water == 5
+        assert len(q) == 4
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(0)
+
+
+def _frames_for(name, config, duration_s=4.0):
+    record = load_record(name, duration_s=duration_s)
+    return IngestSession(name, config).push(record.adu)
+
+
+class TestGatewayBasics:
+    def test_unknown_patient_rejected(self, stream_config):
+        gateway = StreamGateway()
+        frame = _frames_for("100", stream_config)[0]
+        with pytest.raises(KeyError):
+            gateway.submit(frame)
+
+    def test_duplicate_session_rejected(self, stream_config):
+        gateway = StreamGateway()
+        gateway.open_session("100", stream_config)
+        with pytest.raises(ValueError):
+            gateway.open_session("100", stream_config)
+
+    def test_lossless_run_solves_everything(self, stream_config):
+        clock = FakeClock()
+        gateway = StreamGateway(clock=clock)
+        gateway.open_session("100", stream_config)
+        frames = _frames_for("100", stream_config)
+        for frame in frames:
+            assert gateway.submit(frame)
+            clock.now += 0.01
+        completed = gateway.finish()
+        assert completed == len(frames)
+        session = gateway.session("100")
+        assert session.solved == len(frames)
+        assert session.concealed == 0
+        snap = gateway.snapshot()
+        assert snap.windows_completed == len(frames)
+        assert snap.windows_inflight == 0
+        assert snap.queue_drops == 0
+
+    def test_fake_clock_drives_latency_and_rate(self, stream_config):
+        clock = FakeClock()
+        gateway = StreamGateway(clock=clock)
+        gateway.open_session("100", stream_config)
+        frames = _frames_for("100", stream_config)[:4]
+        for frame in frames:
+            gateway.submit(frame)
+        clock.now = 2.0  # all frames waited exactly 2 s before the poll
+        gateway.poll()
+        snap = gateway.snapshot()
+        assert snap.latency_p50_s == pytest.approx(2.0)
+        assert snap.latency_p95_s == pytest.approx(2.0)
+        assert snap.uptime_s == pytest.approx(2.0)
+        assert snap.reconstructed_per_sec == pytest.approx(4 / 2.0)
+
+    def test_queue_overflow_counts_drops(self, stream_config):
+        gateway = StreamGateway(queue_capacity=2, clock=FakeClock())
+        gateway.open_session("100", stream_config)
+        frames = _frames_for("100", stream_config)
+        kept = [gateway.submit(f) for f in frames[:5]]
+        assert kept == [True, True, False, False, False]
+        snap = gateway.snapshot()
+        assert snap.queue_drops == 3
+        assert snap.queue_high_water == 2
+        gateway.finish()
+        # The three evicted windows become sequence gaps -> concealed.
+        session = gateway.session("100")
+        assert session.solved == 2
+        assert session.concealed == 3
+
+
+class TestMultiPatientLossyRun:
+    """The acceptance scenario: sustained 10% erasure, bounded memory."""
+
+    @pytest.fixture(scope="class")
+    def outcome(self, stream_config):
+        names = ("100", "101", "103")
+        records = [load_record(n, duration_s=4.0) for n in names]
+        encoders = {n: IngestSession(n, stream_config) for n in names}
+        links = {
+            n: LossyLink(packet_erasure_rate=0.1, seed=7 + i)
+            for i, n in enumerate(names)
+        }
+        clock = FakeClock()
+        gateway = StreamGateway(queue_capacity=16, clock=clock)
+        for n in names:
+            gateway.open_session(n, stream_config)
+        sent = erased = 0
+        for i, (name, chunk) in enumerate(
+            interleave_playback(records, 181)
+        ):
+            clock.now += 0.01
+            for frame in encoders[name].push(chunk):
+                impaired = links[name].transmit(frame.packet)
+                sent += 1
+                if impaired is None:
+                    erased += 1
+                    continue
+                gateway.submit(
+                    StreamFrame(name, impaired, frame.crc, frame.reference)
+                )
+            if i % 4 == 0:
+                gateway.poll()
+        gateway.finish()
+        return gateway, sent, erased
+
+    def test_erasures_actually_happened(self, outcome):
+        _, sent, erased = outcome
+        assert sent >= 30
+        assert 0 < erased < sent // 2
+
+    def test_memory_stays_bounded(self, outcome, stream_config):
+        gateway, _, _ = outcome
+        snap = gateway.snapshot()
+        assert 0 < snap.queue_high_water <= gateway.queue_capacity
+        for session in gateway.sessions:
+            assert len(session.ring) <= 8 * stream_config.window_len
+            assert session.pending_reorder == 0
+
+    def test_counters_are_consistent(self, outcome):
+        gateway, sent, erased = outcome
+        snap = gateway.snapshot()
+        solved = sum(s.solved for s in gateway.sessions)
+        assert solved + snap.concealed == snap.windows_completed
+        assert solved == sent - erased  # every delivered frame was solved
+        assert snap.windows_inflight == 0
+        assert snap.late_drops == 0 and snap.duplicate_drops == 0
+
+    def test_interior_erasures_concealed(self, outcome):
+        # Trailing erasures are unknowable; every *interior* gap must be.
+        gateway, _, _ = outcome
+        for session in gateway.sessions:
+            assert session.windows_completed == session.next_window
+        snap = gateway.snapshot()
+        assert snap.concealed > 0
+
+    def test_snapshot_is_strict_json(self, outcome):
+        gateway, _, _ = outcome
+        text = gateway.snapshot().to_json()
+        data = json.loads(text)
+        assert data["schema"] == "repro-stream-snapshot/v1"
+        assert data["sessions"] == 3
+        assert len(data["per_session"]) == 3
+        assert "NaN" not in text and "Infinity" not in text
+
+    def test_summary_line_mentions_key_counters(self, outcome):
+        gateway, _, _ = outcome
+        line = gateway.snapshot().summary_line()
+        assert "sessions=3" in line
+        assert "concealed=" in line
+
+
+class TestExecutorEquivalence:
+    def test_parallel_gateway_matches_serial(self, stream_config):
+        def run(executor):
+            gateway = StreamGateway(executor=executor, clock=FakeClock())
+            gateway.open_session("100", stream_config)
+            for frame in _frames_for("100", stream_config, duration_s=3.0):
+                gateway.submit(frame)
+            gateway.finish()
+            return gateway.session("100").ring.read()
+
+        serial = run(None)
+        parallel = run(ParallelExecutor(workers=2))
+        assert np.array_equal(serial, parallel)
+
+
+class TestScenarioDriver:
+    def test_scenario_validation(self):
+        with pytest.raises(ValueError):
+            StreamScenario(patients=0)
+        with pytest.raises(ValueError):
+            StreamScenario(duration_s=0)
+        with pytest.raises(ValueError):
+            StreamScenario(chunk_size=0)
+
+    def test_deterministic_end_to_end(self, stream_config):
+        scenario = StreamScenario(
+            patients=2,
+            duration_s=2.0,
+            config=stream_config,
+            erasure_rate=0.15,
+            seed=3,
+        )
+        clock = FakeClock()
+        snapshots = []
+        final = run_stream_scenario(
+            scenario, clock=clock, on_snapshot=snapshots.append
+        )
+        again = run_stream_scenario(scenario, clock=FakeClock())
+        assert final.windows_completed == again.windows_completed
+        assert final.concealed == again.concealed
+        assert final.to_dict()["per_session"] == (
+            again.to_dict()["per_session"]
+        )
+        assert snapshots  # periodic polling surfaced progress
+        assert final.sessions == 2
