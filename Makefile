@@ -2,13 +2,29 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-smoke bench-full stream-smoke report examples clean-cache
+.PHONY: install test test-fast test-cov lint bench bench-smoke bench-full stream-smoke report examples clean-cache
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src $(PYTHON) -m pytest tests/
+
+# Everything except the randomized property suites (hypothesis) — the
+# quick local loop; CI always runs the full `test` target.
+test-fast:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -m "not property"
+
+# Full suite under coverage with the fail-under gate from pyproject.toml.
+# Gated on pytest-cov being importable so the target degrades gracefully
+# in environments without it (the gate still runs in CI).
+test-cov:
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+		PYTHONPATH=src $(PYTHON) -m pytest tests/ --cov=repro --cov-report=term-missing; \
+	else \
+		echo "pytest-cov not installed; running without coverage"; \
+		PYTHONPATH=src $(PYTHON) -m pytest tests/; \
+	fi
 
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.cli lint src --strict

@@ -185,11 +185,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         ExperimentScale,
         sweep_compression_ratios,
     )
+    from repro.experiments.solver_bench import (
+        run_solver_bench,
+        solver_bench_payload,
+    )
     from repro.recovery.pdhg import PdhgSettings
     from repro.runtime.executors import (
         executor_from_workers,
         resolve_worker_count,
     )
+    from repro.runtime.stages import recovery_cache_stats
     from repro.stream.driver import StreamScenario, run_stream_scenario
 
     records = tuple(args.records) if args.records else (
@@ -343,6 +348,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out}")
+
+    # Solver microbenchmark: the batched+cached recovery engine against
+    # the legacy per-window loop, on the same CR grid.
+    cells = run_solver_bench(
+        config,
+        crs,
+        record_name=records[0],
+        n_windows=4 if args.smoke else 12,
+        duration_s=args.duration,
+    )
+    for c in cells:
+        print(
+            f"solver {c.solver:<6} CR {c.cr_percent:5.1f}%: "
+            f"loop {c.loop_windows_per_sec:6.1f} w/s | "
+            f"batched {c.batched_windows_per_sec:6.1f} w/s | "
+            f"speedup {c.speedup:5.2f}x | "
+            f"max PRD dev {c.max_prd_dev_percent:.2e}%"
+        )
+    solver_payload = solver_bench_payload(
+        cells, smoke=bool(args.smoke), cache_stats=recovery_cache_stats()
+    )
+    solvers_out = Path(args.solvers_output)
+    solvers_out.parent.mkdir(parents=True, exist_ok=True)
+    solvers_out.write_text(json.dumps(solver_payload, indent=2) + "\n")
+    print(f"wrote {solvers_out}")
     return 0
 
 
@@ -472,7 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "bench",
         help="timed CR sweep through the execution engine; writes "
-             "BENCH_sweep.json",
+             "BENCH_sweep.json + BENCH_solvers.json",
     )
     p.add_argument("--records", nargs="*", help="record names to sweep")
     p.add_argument("--crs", nargs="*", type=float, metavar="CR",
@@ -490,6 +520,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(the `make bench-smoke` configuration)")
     p.add_argument("--output", "-o", default="benchmarks/results/BENCH_sweep.json",
                    help="where to write the machine-readable result")
+    p.add_argument("--solvers-output",
+                   default="benchmarks/results/BENCH_solvers.json",
+                   help="where to write the solver microbenchmark result")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(

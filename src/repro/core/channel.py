@@ -44,6 +44,7 @@ def decode_robust(
     expected_crc: Optional[int],
     receiver: HybridReceiver,
     fallback_receiver: Optional[HybridReceiver] = None,
+    alpha0: Optional[np.ndarray] = None,
 ) -> Tuple[WindowReconstruction, str]:
     """Stateless CRC-checked decode with CS-only fallback for one packet.
 
@@ -59,6 +60,8 @@ def decode_robust(
     Returns ``(reconstruction, mode)`` with mode ``"hybrid"`` or
     ``"cs-fallback"``.  ``fallback_receiver`` defaults to ``receiver``
     (a hybrid receiver solves a stripped packet with plain BPDN).
+    ``alpha0`` optionally warm-starts the solve (streaming sessions pass
+    the previous window's coefficients).
     """
     if fallback_receiver is None:
         fallback_receiver = receiver
@@ -68,7 +71,7 @@ def decode_robust(
 
     if use_hybrid:
         try:
-            return receiver.reconstruct(packet), "hybrid"
+            return receiver.reconstruct(packet, alpha0=alpha0), "hybrid"
         except (ValueError, EOFError):  # reprolint: disable=RL006 -- deliberate CS-only fallback on payload desync, mode is reported to the caller
             pass  # desynchronized payload: fall back below
 
@@ -80,7 +83,7 @@ def decode_robust(
         lowres_payload=b"",
         lowres_bit_length=0,
     )
-    return fallback_receiver.reconstruct(stripped), "cs-fallback"
+    return fallback_receiver.reconstruct(stripped, alpha0=alpha0), "cs-fallback"
 
 
 @dataclass

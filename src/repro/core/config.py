@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from repro.metrics.compression import ORIGINAL_RESOLUTION_BITS, cs_channel_cr
+from repro.recovery.opcache import RecoveryEngineSettings
 from repro.recovery.pdhg import PdhgSettings
 from repro.sensing.matrices import SensingSpec
 
@@ -46,6 +47,11 @@ class FrontEndConfig:
     sigma_safety:
         Multiplier on the measurement-quantization noise 2-norm used as
         the fidelity radius σ in Eq. 1.
+    recovery:
+        Receiver-side engine controls: operator caching, streaming
+        warm starts and the batched-solve chunk size.  Purely a
+        receiver-efficiency knob — it never changes what the node
+        transmits, so it is safe to vary per deployment.
     """
 
     window_len: int = 512
@@ -57,6 +63,9 @@ class FrontEndConfig:
     sensing: SensingSpec = field(default_factory=SensingSpec)
     solver: PdhgSettings = field(default_factory=PdhgSettings)
     sigma_safety: float = 2.0
+    recovery: RecoveryEngineSettings = field(
+        default_factory=RecoveryEngineSettings
+    )
 
     def __post_init__(self) -> None:
         if self.window_len <= 0:

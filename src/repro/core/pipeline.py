@@ -12,6 +12,14 @@ bit-identical to the old in-process loop.
 The outcome dataclasses live in :mod:`repro.core.outcomes` and the
 codebook training in :mod:`repro.core.codebooks`; both are re-exported
 here for existing importers.
+
+Receiver-side operator state (the composed ΦΨ, its Gram matrix and the
+solver factorizations) is shared across every window of a run — and
+across runs at the same operating point — through the process-wide
+:data:`repro.recovery.opcache.PROBLEM_CACHE`, controlled by
+``config.recovery`` (see :doc:`docs/recovery`).  This is transparent to
+callers: caching is bit-neutral, so ``run_record`` output is unchanged
+whether the flag is on or off.
 """
 
 from __future__ import annotations

@@ -26,10 +26,9 @@ from repro.core.packets import WindowPacket
 from repro.devtools.contracts import check_dtype, check_shape
 from repro.recovery.bpdn import solve_bpdn
 from repro.recovery.hybrid import solve_hybrid
-from repro.recovery.problem import CsProblem
+from repro.recovery.opcache import problem_for_config
 from repro.recovery.result import RecoveryResult
 from repro.sensing.quantizers import lowres_bounds, measurement_quantizer
-from repro.wavelets.operators import make_basis
 
 __all__ = ["WindowReconstruction", "HybridReceiver"]
 
@@ -75,14 +74,16 @@ class HybridReceiver:
             raise ValueError("codebook resolution does not match the config")
         self.config = config
         self.codebook = codebook
-        self.basis = make_basis(config.window_len, config.basis_spec)
-        self.phi = config.sensing.build(config.n_measurements, config.window_len)
+        # Composed operator — pulled from the process-wide ProblemCache
+        # when ``config.recovery.cache_problems`` is on, so receivers at
+        # the same operating point share one ΦΨ and its factorizations.
+        self.problem = problem_for_config(config)
+        self.basis = self.problem.basis
+        self.phi = self.problem.phi
         self.center = 1 << (config.acquisition_bits - 1)
         self.quantizer = measurement_quantizer(
             self.phi, float(self.center), config.measurement_bits
         )
-        # Composed operator cache shared across windows.
-        self.problem = CsProblem(self.phi, self.basis)
 
     def sigma(self) -> float:
         """Fidelity radius for Eq. 1 from measurement-quantization noise.
@@ -120,11 +121,17 @@ class HybridReceiver:
             packet.lowres_payload, packet.n, packet.lowres_bit_length
         )
 
-    def reconstruct(self, packet: WindowPacket) -> WindowReconstruction:
+    def reconstruct(
+        self,
+        packet: WindowPacket,
+        alpha0: Optional[np.ndarray] = None,
+    ) -> WindowReconstruction:
         """Full receiver pipeline for one packet.
 
         Hybrid packets (non-empty low-res payload) get the Eq. 1 solve;
-        normal-CS packets fall back to plain BPDN.
+        normal-CS packets fall back to plain BPDN.  ``alpha0`` optionally
+        warm-starts the solver — typically the previous window's
+        coefficients in a streaming session.
         """
         if packet.n != self.config.window_len:
             raise ValueError("packet window length does not match the config")
@@ -147,6 +154,7 @@ class HybridReceiver:
                 upper - self.center,
                 settings=self.config.solver,
                 problem=self.problem,
+                alpha0=alpha0,
             )
         else:
             lowres = None
@@ -157,6 +165,7 @@ class HybridReceiver:
                 sigma,
                 settings=self.config.solver,
                 problem=self.problem,
+                alpha0=alpha0,
             )
         x_codes = result.x + self.center
         return WindowReconstruction(

@@ -19,14 +19,19 @@ from typing import List, Optional, Tuple
 __all__ = [
     "EXPECTED_ARTIFACTS",
     "BENCH_SWEEP_STEM",
+    "BENCH_SOLVERS_STEM",
     "ReportSection",
     "bench_sweep_section",
+    "bench_solvers_section",
     "build_report",
     "write_report",
 ]
 
 #: Stem of the optional engine-throughput artifact (`make bench-smoke`).
 BENCH_SWEEP_STEM = "BENCH_sweep"
+
+#: Stem of the optional solver-microbenchmark artifact (`repro bench`).
+BENCH_SOLVERS_STEM = "BENCH_solvers"
 
 #: (artifact stem, section heading) in paper order.
 EXPECTED_ARTIFACTS: Tuple[Tuple[str, str], ...] = (
@@ -133,6 +138,57 @@ def bench_sweep_section(results_dir: Path) -> str:
     return "\n".join(lines)
 
 
+def bench_solvers_section(results_dir: Path) -> str:
+    """Markdown for the solver-microbenchmark artifact, or "" when absent.
+
+    ``BENCH_solvers.json`` compares the batched+cached recovery engine
+    against the legacy per-window loop (see ``docs/recovery.md``); like
+    the sweep artifact it is informational and does not count toward
+    coverage.
+    """
+    path = Path(results_dir) / f"{BENCH_SOLVERS_STEM}.json"
+    if not path.exists():
+        return ""
+    try:
+        data = json.loads(path.read_text())
+    except ValueError:
+        return ""
+    lines = [
+        "## Solver engines (`repro bench`)",
+        "",
+        "| solver | CR % | loop w/s | batched w/s | speedup | max PRD dev % |",
+        "|---|---|---|---|---|---|",
+    ]
+    for cell in data.get("cells", []):
+        loop = cell.get("loop", {})
+        batched = cell.get("batched", {})
+        lines.append(
+            f"| {cell.get('solver')} "
+            f"| {cell.get('cr_percent', 0):.1f} "
+            f"| {loop.get('windows_per_sec', 0):.1f} "
+            f"| {batched.get('windows_per_sec', 0):.1f} "
+            f"| {cell.get('speedup', 0):.2f}x "
+            f"| {cell.get('max_prd_dev_percent', 0):.2e} |"
+        )
+    min_speedup = data.get("min_speedup")
+    if min_speedup is not None:
+        lines += [
+            "",
+            f"- minimum speedup (batched+cached over per-window loop): "
+            f"{min_speedup:.2f}x",
+        ]
+    cache = data.get("problem_cache")
+    if cache:
+        lines.append(
+            f"- operator cache: {cache.get('hits')} hits / "
+            f"{cache.get('misses')} misses "
+            f"(hit rate {cache.get('hit_rate', 0):.2f}, "
+            f"{cache.get('size')} problems resident)"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
 def build_report(results_dir: Path) -> Tuple[str, int, int]:
     """Render the Markdown report.
 
@@ -165,9 +221,12 @@ def build_report(results_dir: Path) -> Tuple[str, int, int]:
     header.append("")
 
     body_parts = [s.to_markdown() for s in sections]
-    bench = bench_sweep_section(results_dir)
-    if bench:
-        body_parts.append(bench)
+    for bench in (
+        bench_sweep_section(results_dir),
+        bench_solvers_section(results_dir),
+    ):
+        if bench:
+            body_parts.append(bench)
     return "\n".join(header) + "\n" + "\n".join(body_parts), present, len(sections)
 
 

@@ -1,8 +1,23 @@
 """Sparse-recovery solvers: Eq. 1 (hybrid), BPDN, and baselines."""
 
 from repro.recovery.admm import solve_bpdn_admm
+from repro.recovery.batched import (
+    recover_windows,
+    recover_windows_loop,
+    solve_batch,
+    solve_bpdn_admm_batch,
+    solve_fista_batch,
+    stack_measurements,
+)
 from repro.recovery.bpdn import ball_block, solve_bpdn
 from repro.recovery.fista import lambda_max, solve_fista
+from repro.recovery.opcache import (
+    PROBLEM_CACHE,
+    ProblemCache,
+    ProblemKey,
+    RecoveryEngineSettings,
+    problem_for_config,
+)
 from repro.recovery.greedy import solve_cosamp, solve_iht, solve_omp
 from repro.recovery.hybrid import box_block, solve_hybrid
 from repro.recovery.pdhg import ConstraintBlock, PdhgSettings, solve_l1_constrained
@@ -30,7 +45,11 @@ from repro.recovery.structured import (
 __all__ = [
     "ConstraintBlock",
     "CsProblem",
+    "PROBLEM_CACHE",
     "PdhgSettings",
+    "ProblemCache",
+    "ProblemKey",
+    "RecoveryEngineSettings",
     "RecoveryResult",
     "TransitionPoint",
     "ball_block",
@@ -38,14 +57,20 @@ __all__ = [
     "success_probability",
     "box_block",
     "lambda_max",
+    "problem_for_config",
     "project_box",
+    "recover_windows",
+    "recover_windows_loop",
     "project_l2_ball",
     "prox_l1",
     "soft_threshold",
+    "solve_batch",
     "solve_bpdn",
     "solve_bpdn_admm",
+    "solve_bpdn_admm_batch",
     "solve_cosamp",
     "solve_fista",
+    "solve_fista_batch",
     "solve_hybrid",
     "solve_iht",
     "solve_l1_constrained",
@@ -53,6 +78,7 @@ __all__ = [
     "solve_omp",
     "solve_reweighted_bpdn",
     "solve_reweighted_hybrid",
+    "stack_measurements",
     "tree_project",
     "wavelet_tree_parents",
 ]

@@ -54,6 +54,7 @@ def solve_bpdn(
     *,
     settings: PdhgSettings = PdhgSettings(),
     problem: Optional[CsProblem] = None,
+    alpha0: Optional[np.ndarray] = None,
 ) -> RecoveryResult:
     """Recover a window from CS measurements alone (normal CS).
 
@@ -73,6 +74,9 @@ def solve_bpdn(
     problem:
         Pre-built :class:`CsProblem` to reuse the cached composed operator
         across windows.
+    alpha0:
+        Optional warm start (e.g. the previous window's solution in a
+        streaming session); defaults to zero.
 
     Returns
     -------
@@ -86,6 +90,7 @@ def solve_bpdn(
         [ball_block(prob, y, sigma)],
         settings=settings,
         synthesize=prob.basis.synthesize,
+        alpha0=alpha0,
         solver_name="pdhg-bpdn",
     )
     true_residual = float(np.linalg.norm(prob.forward(result.alpha) - y))

@@ -84,6 +84,7 @@ def solve_hybrid(
     *,
     settings: PdhgSettings = PdhgSettings(),
     problem: Optional[CsProblem] = None,
+    alpha0: Optional[np.ndarray] = None,
 ) -> RecoveryResult:
     """Recover a window using CS measurements *and* low-resolution bounds.
 
@@ -99,6 +100,10 @@ def solve_hybrid(
         PDHG iteration controls.
     problem:
         Pre-built :class:`CsProblem` for operator reuse across windows.
+    alpha0:
+        Optional explicit warm start (e.g. the previous window's solution
+        in a streaming session).  Defaults to the box-projected midpoint,
+        the historical cold-start choice.
 
     Returns
     -------
@@ -108,10 +113,13 @@ def solve_hybrid(
     """
     prob = problem if problem is not None else CsProblem(phi, basis)
     y = np.asarray(y, dtype=float)
-    # Warm start at the box-projected midpoint: a feasible-ish point that
-    # is already consistent with the low-resolution channel.
-    mid = (np.asarray(lower, dtype=float) + np.asarray(upper, dtype=float)) / 2.0
-    alpha0 = prob.basis.analyze(mid)
+    if alpha0 is None:
+        # Warm start at the box-projected midpoint: a feasible-ish point
+        # that is already consistent with the low-resolution channel.
+        mid = (
+            np.asarray(lower, dtype=float) + np.asarray(upper, dtype=float)
+        ) / 2.0
+        alpha0 = prob.basis.analyze(mid)
     result = solve_l1_constrained(
         prob.n,
         [

@@ -14,6 +14,15 @@ ship to workers.  Front-end/receiver pairs are deterministic functions of
 ``(config, method, codebook)``, so each process memoizes them in
 :func:`link_for` — a worker pays the Φ/Ψ construction cost once per
 distinct config, not once per window.
+
+Below the link memo sits the process-wide operator cache
+(:data:`repro.recovery.opcache.PROBLEM_CACHE`): every receiver built
+here pulls its :class:`~repro.recovery.problem.CsProblem` from it (when
+``config.recovery.cache_problems`` is on), so links that differ only in
+method or codebook — e.g. the hybrid and normal arms of one sweep cell —
+share a single ΦΨ composition and its factorizations.
+:func:`recovery_cache_stats` exposes both layers' hit accounting for the
+benchmarks.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ __all__ = [
     "Link",
     "link_for",
     "link_for_params",
+    "recovery_cache_stats",
     "reference_centered",
     "encode",
     "transport",
@@ -120,6 +130,23 @@ def link_for_params(
 def link_for(task: WindowTask) -> Link:
     """The per-process front-end/receiver pair for a task's parameters."""
     return link_for_params(task.config, task.method, task.codebook)
+
+
+def recovery_cache_stats() -> dict:
+    """Hit accounting for this process's receiver-side caches.
+
+    Combines the operator cache (shared ΦΨ compositions and their
+    factorizations) with the sizes of both link memos; the solver
+    microbenchmark records this alongside its timings so cache
+    effectiveness is visible in ``BENCH_solvers.json``.
+    """
+    from repro.recovery.opcache import PROBLEM_CACHE
+
+    info = _cached_link.cache_info()
+    stats = dict(PROBLEM_CACHE.stats())
+    stats["link_cache_size"] = info.currsize
+    stats["inline_link_cache_size"] = len(_INLINE_LINKS)
+    return stats
 
 
 def reference_centered(codes: np.ndarray, center: int) -> np.ndarray:

@@ -64,6 +64,11 @@ class RecoveryTask:
     every field is a plain value, so the task can cross a process
     boundary and any worker reconstructs identical state from it via the
     per-process link cache (:func:`repro.runtime.stages.link_for_params`).
+
+    ``warm_start`` optionally carries the previous window's solved
+    coefficients as the solver's starting point.  It is attached at
+    *plan* time (never inside a worker), so the task stays a pure value
+    and the result is independent of executor scheduling.
     """
 
     patient_id: str
@@ -74,6 +79,7 @@ class RecoveryTask:
     method: str
     codebook: CodebookSpec
     reference: Optional[np.ndarray] = None
+    warm_start: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         if self.method not in ("hybrid", "normal"):
@@ -88,7 +94,8 @@ class RecoveredWindow:
 
     ``mode`` is ``"hybrid"`` or ``"cs-fallback"`` (concealment never
     reaches a worker); ``prd_percent``/``snr_db`` are ``None`` when the
-    frame carried no reference.
+    frame carried no reference.  ``alpha`` is the solved coefficient
+    vector, kept so the session can warm-start the next window.
     """
 
     patient_id: str
@@ -99,6 +106,7 @@ class RecoveredWindow:
     snr_db: Optional[float]
     iterations: int
     converged: bool
+    alpha: Optional[np.ndarray] = None
 
 
 def execute_recovery_task(task: RecoveryTask) -> RecoveredWindow:
@@ -111,7 +119,9 @@ def execute_recovery_task(task: RecoveryTask) -> RecoveredWindow:
     processes and are bit-identical regardless of scheduling.
     """
     link = link_for_params(task.config, task.method, task.codebook)
-    recon, mode = decode_robust(task.packet, task.crc, link.receiver)
+    recon, mode = decode_robust(
+        task.packet, task.crc, link.receiver, alpha0=task.warm_start
+    )
     prd_percent: Optional[float] = None
     snr: Optional[float] = None
     if task.reference is not None:
@@ -132,6 +142,7 @@ def execute_recovery_task(task: RecoveryTask) -> RecoveredWindow:
         snr_db=snr,
         iterations=recon.recovery.iterations,
         converged=recon.recovery.converged,
+        alpha=recon.recovery.alpha,
     )
 
 
@@ -252,6 +263,9 @@ class PatientSession:
         self._next = 0  # next window index to release, in order
         self._pending: Dict[int, Tuple[StreamFrame, Optional[float]]] = {}
         self._last_codes: Optional[np.ndarray] = None
+        # (window_index, alpha) of the most recent *solved* window; used
+        # to warm-start the immediately following window at plan time.
+        self._last_alpha: Optional[Tuple[int, np.ndarray]] = None
         self.late_drops = 0
         self.duplicate_drops = 0
         self.solved = 0
@@ -280,6 +294,17 @@ class PatientSession:
                 reference, (self.config.window_len,), name="reference"
             )
             reference = check_dtype(reference, "integer", name="reference")
+        # Warm-start only from the *immediately preceding* window, and
+        # only if its solve has already been applied by plan time: the
+        # seed is a pure function of the arrival/apply schedule, so
+        # serial and parallel executors produce identical results.
+        warm_start: Optional[np.ndarray] = None
+        if (
+            self.config.recovery.warm_start_streams
+            and self._last_alpha is not None
+            and self._last_alpha[0] == frame.window_index - 1
+        ):
+            warm_start = self._last_alpha[1]
         return RecoveryTask(
             patient_id=self.patient_id,
             window_index=frame.window_index,
@@ -289,6 +314,7 @@ class PatientSession:
             method=self.method,
             codebook=self.codebook_spec,
             reference=reference,
+            warm_start=warm_start,
         )
 
     def _release(self, force: bool) -> List[PlannedWindow]:
@@ -376,6 +402,8 @@ class PatientSession:
                 self.rolling_prd.push(result.prd_percent)
             if result.snr_db is not None:
                 self.rolling_snr.push(result.snr_db)
+            if result.alpha is not None:
+                self._last_alpha = (planned.window_index, result.alpha)
         self._last_codes = codes
         self.ring.extend(codes)
         return mode

@@ -129,6 +129,55 @@ class TestCsProblem:
         assert np.allclose(prob.measure_signal(x), phi @ x)
 
 
+class TestProblemFactorizations:
+    def _problem(self):
+        return CsProblem(bernoulli_matrix(24, 64, seed=11), WaveletBasis(64, "db2"))
+
+    def test_least_squares_init_matches_lstsq(self, rng):
+        """The cached-factor path must return the canonical minimum-norm
+        least-squares solution (what np.linalg.lstsq computes)."""
+        prob = self._problem()
+        y = rng.standard_normal(prob.m)
+        alpha = prob.least_squares_init(y)
+        expected, *_ = np.linalg.lstsq(prob.a, y, rcond=None)
+        assert alpha.shape == (prob.n,)
+        assert np.allclose(alpha, expected, atol=1e-10)
+        # It actually interpolates the data (A has full row rank here).
+        assert np.allclose(prob.a @ alpha, y, atol=1e-8)
+
+    def test_least_squares_factor_computed_once(self, rng):
+        prob = self._problem()
+        prob.least_squares_init(rng.standard_normal(prob.m))
+        factor = prob._lstsq_factor
+        assert factor is not None
+        prob.least_squares_init(rng.standard_normal(prob.m))
+        assert prob._lstsq_factor is factor  # reused, not recomputed
+
+    def test_least_squares_init_validation(self):
+        prob = self._problem()
+        with pytest.raises(ValueError):
+            prob.least_squares_init(np.zeros(prob.m - 1))
+        with pytest.raises(ValueError):
+            prob.least_squares_init(np.full(prob.m, np.nan))
+
+    def test_admm_factor_cached_and_correct(self):
+        from scipy.linalg import cho_solve
+
+        prob = self._problem()
+        factor = prob.admm_factor()
+        assert prob.admm_factor() is factor
+        rhs = np.arange(prob.n, dtype=float)
+        solved = cho_solve(factor, rhs)
+        assert np.allclose(
+            (np.eye(prob.n) + prob.gram()) @ solved, rhs, atol=1e-8
+        )
+
+    def test_matched_filter(self, rng):
+        prob = self._problem()
+        y = rng.standard_normal(prob.m)
+        assert np.allclose(prob.matched_filter(y), prob.a.T @ y)
+
+
 class TestRecoveryResult:
     def test_sparsity_counter(self, rng, basis_128):
         from repro.recovery.result import RecoveryResult

