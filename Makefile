@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-cov lint bench bench-smoke bench-full stream-smoke report examples clean-cache
+.PHONY: install test test-fast test-cov lint bench bench-smoke bench-encode-smoke bench-full stream-smoke report examples clean-cache
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -38,6 +38,14 @@ bench:
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --smoke --workers 2 \
 		--output benchmarks/results/BENCH_sweep.json
+
+# Encoder-only microbenchmark: batched encode engine + vectorized
+# synthesis kernels vs their scalar reference loops, with byte/bit
+# identity checks. Writes benchmarks/results/BENCH_encode.json (also
+# produced by bench-smoke as part of the full `repro bench` run).
+bench-encode-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --smoke --encode-only \
+		--encode-output benchmarks/results/BENCH_encode.json
 
 # 4-patient online streaming run over a 10% lossy link through the
 # multi-session gateway; writes the final telemetry snapshot.

@@ -217,6 +217,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         lowres_bits=args.lowres_bits,
         solver=PdhgSettings(max_iter=args.max_iter),
     )
+
+    if args.encode_only:
+        _write_encode_bench(args, config, crs, records[0])
+        return 0
+
     scale = ExperimentScale(
         record_names=records, duration_s=args.duration, max_windows=max_windows
     )
@@ -373,7 +378,56 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     solvers_out.parent.mkdir(parents=True, exist_ok=True)
     solvers_out.write_text(json.dumps(solver_payload, indent=2) + "\n")
     print(f"wrote {solvers_out}")
+
+    # Encoder microbenchmark: the batched encode engine + vectorized
+    # synthesis kernels against their scalar reference loops.
+    _write_encode_bench(args, config, crs, records[0])
     return 0
+
+
+def _write_encode_bench(args, config, crs, record_name) -> None:
+    """Run the encoder/synthesis microbenchmark and write BENCH_encode.json."""
+    import json
+
+    from repro.experiments.encode_bench import (
+        encode_bench_payload,
+        run_encode_bench,
+        run_synth_bench,
+    )
+
+    encode_cells = run_encode_bench(
+        config,
+        crs,
+        record_name=record_name,
+        n_windows=16 if args.smoke else 32,
+        duration_s=args.duration,
+    )
+    for c in encode_cells:
+        print(
+            f"encode {c.method:<6} CR {c.cr_percent:5.1f}%: "
+            f"loop {c.loop_windows_per_sec:7.1f} w/s | "
+            f"batched {c.batched_windows_per_sec:7.1f} w/s | "
+            f"speedup {c.speedup:5.2f}x | "
+            f"bytes identical: {c.bytes_identical}"
+        )
+    synth_cells = run_synth_bench(
+        duration_s=4.0 if args.smoke else 8.0,
+        database_duration_s=3.0 if args.smoke else 6.0,
+    )
+    for c in synth_cells:
+        print(
+            f"synth  {c.kind:<8}: "
+            f"loop {c.loop_samples_per_sec:8.0f} sps | "
+            f"vectorized {c.vectorized_samples_per_sec:10.0f} sps | "
+            f"speedup {c.speedup:6.1f}x | identical: {c.identical}"
+        )
+    payload = encode_bench_payload(
+        encode_cells, synth_cells, smoke=bool(args.smoke)
+    )
+    encode_out = Path(args.encode_output)
+    encode_out.parent.mkdir(parents=True, exist_ok=True)
+    encode_out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {encode_out}")
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
@@ -502,7 +556,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "bench",
         help="timed CR sweep through the execution engine; writes "
-             "BENCH_sweep.json + BENCH_solvers.json",
+             "BENCH_sweep.json + BENCH_solvers.json + BENCH_encode.json",
     )
     p.add_argument("--records", nargs="*", help="record names to sweep")
     p.add_argument("--crs", nargs="*", type=float, metavar="CR",
@@ -523,6 +577,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--solvers-output",
                    default="benchmarks/results/BENCH_solvers.json",
                    help="where to write the solver microbenchmark result")
+    p.add_argument("--encode-output",
+                   default="benchmarks/results/BENCH_encode.json",
+                   help="where to write the encoder microbenchmark result")
+    p.add_argument("--encode-only", action="store_true",
+                   help="run only the encoder/synthesis microbenchmark "
+                        "(the `make bench-encode-smoke` configuration)")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(

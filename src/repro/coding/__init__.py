@@ -19,21 +19,26 @@ from repro.coding.runlength import (
     MAX_RUN_EXPONENT,
     ZeroRun,
     detokenize_diffs,
+    token_histogram,
     tokenize_diffs,
 )
+from repro.coding.vectorized import CodebookTables, build_tables
 
 __all__ = [
     "ArithmeticCodec",
     "ArithmeticModel",
     "BitReader",
     "BitWriter",
+    "CodebookTables",
     "DifferenceCodebook",
     "ESCAPE",
     "HuffmanCodec",
     "MAX_RUN_EXPONENT",
     "ZeroRun",
     "detokenize_diffs",
+    "token_histogram",
     "tokenize_diffs",
+    "build_tables",
     "canonical_codes",
     "code_lengths_from_frequencies",
     "difference_decode",

@@ -4,11 +4,19 @@ Minimal MSB-first bit writer/reader over a growable byte buffer.  All
 compression-ratio numbers in the experiments are measured on streams
 produced by these classes, so the accounting is bit-exact rather than
 estimated from entropy formulas.
+
+:class:`BitWriter` is backed by a ``bytearray`` and offers a bulk
+:meth:`~BitWriter.write_bits_array` fast path (array expansion +
+``np.packbits``) used by the batched packet serializer; the bit-at-a-time
+methods remain the reference semantics and the two paths produce
+identical buffers.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable
+
+import numpy as np
 
 __all__ = ["BitWriter", "BitReader"]
 
@@ -28,7 +36,7 @@ class BitWriter:
     """
 
     def __init__(self) -> None:
-        self._bytes: List[int] = []
+        self._bytes = bytearray()
         self._bitpos = 0  # bits used in the current (last) byte
 
     @property
@@ -62,6 +70,70 @@ class BitWriter:
 
     # Alias with self-documenting name for fixed-width fields.
     write_uint = write_bits
+
+    def write_bits_array(self, values, lengths) -> None:
+        """Bulk equivalent of ``write_bits(values[i], lengths[i])`` per entry.
+
+        ``values`` and ``lengths`` are equal-length 1-D integer sequences;
+        the resulting buffer is identical to calling :meth:`write_bits` in
+        a loop, but the bits are expanded and packed as arrays.  Fields
+        wider than 64 bits fall back to the scalar path.
+        """
+        lengths_arr = np.asarray(lengths, dtype=np.int64)
+        values_arr = np.asarray(values)
+        if lengths_arr.ndim != 1 or values_arr.shape != lengths_arr.shape:
+            raise ValueError("values and lengths must be equal-length 1-D")
+        if lengths_arr.size == 0:
+            return
+        if values_arr.dtype.kind not in "iu":
+            raise ValueError("values must be integers")
+        if np.any(lengths_arr < 0):
+            raise ValueError("n_bits cannot be negative")
+        if values_arr.dtype.kind == "i" and np.any(values_arr < 0):
+            bad = int(values_arr[values_arr < 0][0])
+            raise ValueError(f"value {bad} does not fit in unsigned bits")
+        if np.any(lengths_arr > 64):
+            for value, n_bits in zip(values_arr.tolist(), lengths_arr.tolist()):
+                self.write_bits(int(value), int(n_bits))
+            return
+        values_u = values_arr.astype(np.uint64, copy=False)
+        narrow = lengths_arr < 64  # 64-bit fields hold any uint64
+        overflow = np.zeros(lengths_arr.shape, dtype=bool)
+        overflow[narrow] = (
+            values_u[narrow] >> lengths_arr[narrow].astype(np.uint64, copy=False)
+        ) != 0
+        if np.any(overflow):
+            idx = int(np.flatnonzero(overflow)[0])
+            raise ValueError(
+                f"value {int(values_arr[idx])} does not fit in "
+                f"{int(lengths_arr[idx])} unsigned bits"
+            )
+        keep = lengths_arr > 0
+        vals, lens = values_u[keep], lengths_arr[keep]
+        total = int(lens.sum())
+        if total == 0:
+            return
+        repeated_vals = np.repeat(vals, lens)
+        repeated_lens = np.repeat(lens, lens)
+        offsets = np.cumsum(lens) - lens
+        intra = np.arange(total, dtype=np.int64) - np.repeat(offsets, lens)
+        shifts = (repeated_lens - 1 - intra).astype(np.uint64, copy=False)
+        self._append_bit_array(
+            ((repeated_vals >> shifts) & np.uint64(1)).astype(
+                np.uint8, copy=False
+            )
+        )
+
+    def _append_bit_array(self, bits: np.ndarray) -> None:
+        """Append a non-empty uint8 bit array, merging any dangling byte."""
+        if self._bytes and self._bitpos not in (0, 8):
+            # Re-pack the partial last byte together with the new bits so
+            # packbits sees one contiguous MSB-first stream.
+            last = self._bytes.pop()
+            prefix = np.unpackbits(np.frombuffer(bytes([last]), dtype=np.uint8))
+            bits = np.concatenate([prefix[: self._bitpos], bits])
+        self._bytes.extend(np.packbits(bits).tobytes())
+        self._bitpos = (bits.size % 8) or 8
 
     def write_code(self, bits: Iterable[int]) -> None:
         """Append an iterable of single bits (e.g. a Huffman codeword)."""

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
@@ -41,6 +42,7 @@ from repro.coding.huffman import HuffmanCodec
 from repro.coding.runlength import (
     MAX_RUN_EXPONENT,
     ZeroRun,
+    token_histogram,
     tokenize_diffs,
 )
 
@@ -178,6 +180,47 @@ class DifferenceCodebook:
                 raise KeyError(f"token {tok!r} missing from codebook")
         return writer.getvalue(), writer.bit_length
 
+    @cached_property
+    def tables(self):
+        """Vectorized-encoder LUTs (:class:`~repro.coding.vectorized.
+        CodebookTables`), built lazily once per codebook.
+
+        ``cached_property`` stores into the instance ``__dict__`` so the
+        frozen dataclass stays immutable from the caller's perspective
+        (same pattern as :attr:`HuffmanCodec._decode_table`).
+        """
+        from repro.coding.vectorized import build_tables
+
+        return build_tables(self)
+
+    def encode_windows(self, codes: np.ndarray) -> List[Tuple[bytes, int]]:
+        """Encode a ``(windows, samples)`` stack of B-bit code windows.
+
+        Byte-identical to calling :meth:`encode_window` row by row (the
+        exactness contract is stated in ``docs/encoding.md`` and asserted
+        by the test suite), but runs as one pass of array kernels via
+        :mod:`repro.coding.vectorized`.  Returns one ``(payload,
+        bit_length)`` pair per window.
+        """
+        arr = np.asarray(codes)
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise TypeError("difference coding operates on integer codes")
+        if arr.ndim != 2 or arr.shape[1] == 0:
+            raise ValueError("expected a non-empty (windows, samples) matrix")
+        if arr.size and (
+            arr.min() < 0 or arr.max() >= (1 << self.resolution_bits)
+        ):
+            raise ValueError(
+                f"codes out of range for {self.resolution_bits}-bit resolution"
+            )
+        from repro.coding.vectorized import encode_code_windows
+
+        payloads, bit_lengths = encode_code_windows(self.tables, arr)
+        return [
+            (payload, int(bits))
+            for payload, bits in zip(payloads, bit_lengths)
+        ]
+
     def decode_window(
         self, payload: bytes, n_samples: int, bit_length: int | None = None
     ) -> np.ndarray:
@@ -248,12 +291,15 @@ def train_codebook(
     for stream in streams:
         _, diffs = difference_encode(np.asarray(stream))
         if use_run_length:
-            tokens = tokenize_diffs(diffs)
+            stream_counts = token_histogram(diffs)
         else:
-            tokens = [int(d) for d in diffs]
-        for tok in tokens:
-            histogram[tok] = histogram.get(tok, 0) + 1
-            total += 1
+            values, tallies = np.unique(diffs, return_counts=True)
+            stream_counts = {
+                int(v): int(c) for v, c in zip(values, tallies)
+            }
+        for tok, count in stream_counts.items():
+            histogram[tok] = histogram.get(tok, 0) + count
+            total += count
     if total == 0:
         raise ValueError("training corpus has no differences")
 

@@ -49,11 +49,32 @@ def difference_decode(first: int, diffs: np.ndarray) -> np.ndarray:
     return out
 
 
+#: Widest difference range counted with a dense ``np.bincount`` table;
+#: B-bit code streams span at most ``2**(B+1) - 1`` values, far below this.
+_BINCOUNT_SPAN_LIMIT = 1 << 20
+
+
 def difference_histogram(codes: np.ndarray) -> Dict[int, int]:
-    """Count occurrences of each difference value in a code stream."""
+    """Count occurrences of each difference value in a code stream.
+
+    Uses a dense shifted ``np.bincount`` over the observed range (one
+    pass, no sort) and keeps only the occurring values, so 48-record
+    codebook training is a handful of array ops per record; pathological
+    streams whose difference range exceeds ``2**20`` fall back to
+    ``np.unique``.  The return type is unchanged: ``{difference: count}``
+    with ascending keys.
+    """
     _, diffs = difference_encode(codes)
-    values, counts = np.unique(diffs, return_counts=True)
-    return {int(v): int(c) for v, c in zip(values, counts)}
+    if diffs.size == 0:
+        return {}
+    lo = int(diffs.min())
+    hi = int(diffs.max())
+    if hi - lo >= _BINCOUNT_SPAN_LIMIT:
+        values, counts = np.unique(diffs, return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}
+    table = np.bincount(diffs - lo, minlength=hi - lo + 1)
+    occurring = np.flatnonzero(table)
+    return {int(v) + lo: int(table[v]) for v in occurring}
 
 
 def difference_pdf(

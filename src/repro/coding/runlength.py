@@ -112,8 +112,40 @@ def detokenize_diffs(tokens: Iterable[Token]) -> np.ndarray:
 
 
 def token_histogram(diffs: Sequence[int]) -> dict:
-    """Token frequency table for codebook training."""
+    """Token frequency table for codebook training.
+
+    Equivalent to ``Counter(tokenize_diffs(diffs))`` — only occurring
+    tokens appear — but computed with array kernels: non-zero differences
+    through ``np.unique``, zero runs through run-boundary detection plus
+    the same greedy binary decomposition as :func:`tokenize_diffs`
+    (``run // 256`` top-size chunks, then the set bits of ``run % 256``).
+    This keeps full-database codebook training out of per-sample Python.
+    """
+    arr = np.asarray(diffs, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError("diffs must be 1-D")
     counts: dict = {}
-    for tok in tokenize_diffs(diffs):
-        counts[tok] = counts.get(tok, 0) + 1
+    nonzero = arr[arr != 0]
+    if nonzero.size:
+        values, tallies = np.unique(nonzero, return_counts=True)
+        counts.update(
+            (int(v), int(c)) for v, c in zip(values, tallies)
+        )
+    zero = arr == 0
+    if zero.any():
+        starts = np.flatnonzero(zero & ~np.concatenate(([False], zero[:-1])))
+        ends = np.flatnonzero(zero & ~np.concatenate((zero[1:], [False])))
+        run_lens = ends - starts + 1
+        cap = 1 << MAX_RUN_EXPONENT
+        top = int((run_lens // cap).sum())
+        if top:
+            counts[ZeroRun(cap)] = top
+        remainders = run_lens % cap
+        for exponent in range(MAX_RUN_EXPONENT - 1, 0, -1):
+            hits = int(((remainders >> exponent) & 1).sum())
+            if hits:
+                counts[ZeroRun(1 << exponent)] = hits
+        lone = int((remainders & 1).sum())
+        if lone:
+            counts[0] = lone
     return counts

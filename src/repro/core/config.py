@@ -10,6 +10,7 @@ makes the end-to-end pipeline bit-faithful.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from repro.core.encode_batch import EncodeEngineSettings
 from repro.metrics.compression import ORIGINAL_RESOLUTION_BITS, cs_channel_cr
 from repro.recovery.opcache import RecoveryEngineSettings
 from repro.recovery.pdhg import PdhgSettings
@@ -52,6 +53,11 @@ class FrontEndConfig:
         warm starts and the batched-solve chunk size.  Purely a
         receiver-efficiency knob — it never changes what the node
         transmits, so it is safe to vary per deployment.
+    encode:
+        Node-side engine controls: whether whole window stacks go
+        through the batched encode engine (bit-identical to the scalar
+        path; see ``docs/encoding.md``) and its quantizer boundary
+        guard.  Like ``recovery``, an efficiency knob only.
     """
 
     window_len: int = 512
@@ -66,6 +72,7 @@ class FrontEndConfig:
     recovery: RecoveryEngineSettings = field(
         default_factory=RecoveryEngineSettings
     )
+    encode: EncodeEngineSettings = field(default_factory=EncodeEngineSettings)
 
     def __post_init__(self) -> None:
         if self.window_len <= 0:

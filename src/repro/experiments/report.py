@@ -20,9 +20,11 @@ __all__ = [
     "EXPECTED_ARTIFACTS",
     "BENCH_SWEEP_STEM",
     "BENCH_SOLVERS_STEM",
+    "BENCH_ENCODE_STEM",
     "ReportSection",
     "bench_sweep_section",
     "bench_solvers_section",
+    "bench_encode_section",
     "build_report",
     "write_report",
 ]
@@ -32,6 +34,9 @@ BENCH_SWEEP_STEM = "BENCH_sweep"
 
 #: Stem of the optional solver-microbenchmark artifact (`repro bench`).
 BENCH_SOLVERS_STEM = "BENCH_solvers"
+
+#: Stem of the optional encoder-microbenchmark artifact (`repro bench`).
+BENCH_ENCODE_STEM = "BENCH_encode"
 
 #: (artifact stem, section heading) in paper order.
 EXPECTED_ARTIFACTS: Tuple[Tuple[str, str], ...] = (
@@ -189,6 +194,70 @@ def bench_solvers_section(results_dir: Path) -> str:
     return "\n".join(lines)
 
 
+def bench_encode_section(results_dir: Path) -> str:
+    """Markdown for the encoder-microbenchmark artifact, or "" when absent.
+
+    ``BENCH_encode.json`` compares the batched encode engine and the
+    vectorized synthesis kernels against their scalar reference loops
+    (see ``docs/encoding.md``); informational, like the other bench
+    artifacts.
+    """
+    path = Path(results_dir) / f"{BENCH_ENCODE_STEM}.json"
+    if not path.exists():
+        return ""
+    try:
+        data = json.loads(path.read_text())
+    except ValueError:
+        return ""
+    lines = [
+        "## Encode engine (`repro bench`)",
+        "",
+        "| method | CR % | loop w/s | batched w/s | speedup | bytes identical |",
+        "|---|---|---|---|---|---|",
+    ]
+    for cell in data.get("cells", []):
+        loop = cell.get("loop", {})
+        batched = cell.get("batched", {})
+        lines.append(
+            f"| {cell.get('method')} "
+            f"| {cell.get('cr_percent', 0):.1f} "
+            f"| {loop.get('windows_per_sec', 0):.1f} "
+            f"| {batched.get('windows_per_sec', 0):.1f} "
+            f"| {cell.get('speedup', 0):.2f}x "
+            f"| {cell.get('bytes_identical')} |"
+        )
+    min_speedup = data.get("min_encode_speedup")
+    if min_speedup is not None:
+        lines += [
+            "",
+            f"- minimum hybrid-encoder speedup (batched over per-window "
+            f"loop): {min_speedup:.2f}x "
+            f"(all bytes identical: {data.get('all_bytes_identical')})",
+        ]
+    synth = data.get("synth") or {}
+    synth_cells = synth.get("cells", [])
+    if synth_cells:
+        lines += [
+            "",
+            "### Synthesis kernels",
+            "",
+            "| kernel | loop samples/s | vectorized samples/s | speedup | identical |",
+            "|---|---|---|---|---|",
+        ]
+        for cell in synth_cells:
+            loop = cell.get("loop", {})
+            vec = cell.get("vectorized", {})
+            lines.append(
+                f"| {cell.get('kind')} "
+                f"| {loop.get('samples_per_sec', 0):.0f} "
+                f"| {vec.get('samples_per_sec', 0):.0f} "
+                f"| {cell.get('speedup', 0):.1f}x "
+                f"| {cell.get('identical')} |"
+            )
+    lines.append("")
+    return "\n".join(lines)
+
+
 def build_report(results_dir: Path) -> Tuple[str, int, int]:
     """Render the Markdown report.
 
@@ -224,6 +293,7 @@ def build_report(results_dir: Path) -> Tuple[str, int, int]:
     for bench in (
         bench_sweep_section(results_dir),
         bench_solvers_section(results_dir),
+        bench_encode_section(results_dir),
     ):
         if bench:
             body_parts.append(bench)

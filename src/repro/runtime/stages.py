@@ -3,7 +3,9 @@
 The end-to-end flow the experiment drivers used to hand-roll is an
 explicit stage graph over :class:`~repro.runtime.task.WindowTask` units:
 
-* :func:`encode`    — node side: CS measure + low-res code + frame;
+* :func:`encode`    — node side: CS measure + low-res code + frame
+  (:func:`encode_batch` runs a stack of same-link windows through the
+  batched encode engine with bit-identical output);
 * :func:`transport` — the radio link (identity today; the seeded hook
   where lossy-link models plug in);
 * :func:`recover`   — receiver side: decode + Eq. 1 / BPDN solve;
@@ -29,7 +31,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from functools import lru_cache
-from typing import NamedTuple, Optional, Tuple, Union
+from typing import List, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -49,6 +51,7 @@ __all__ = [
     "recovery_cache_stats",
     "reference_centered",
     "encode",
+    "encode_batch",
     "transport",
     "recover",
     "score",
@@ -162,6 +165,36 @@ def encode(task: WindowTask, link: Optional[Link] = None) -> WindowPacket:
     """Node stage: acquire and frame one window of acquisition codes."""
     link = link or link_for(task)
     return link.frontend.process_window(task.codes, task.window_index)
+
+
+def encode_batch(
+    tasks: Sequence[WindowTask], link: Optional[Link] = None
+) -> List[WindowPacket]:
+    """Node stage over a batch: one engine call for several windows.
+
+    All tasks must share one link (same ``config``/``method``/codebook) —
+    the batch is a stack of windows through a single front-end.  Output
+    is bit-identical to mapping :func:`encode` over the tasks (see
+    ``docs/encoding.md``); when ``config.encode.batched`` is off the
+    scalar map is exactly what runs.
+    """
+    if not tasks:
+        return []
+    first = tasks[0]
+    for task in tasks[1:]:
+        if (
+            task.config != first.config
+            or task.method != first.method
+            or task.codebook != first.codebook
+        ):
+            raise ValueError("encode_batch tasks must share one link")
+    link = link or link_for(first)
+    if not first.config.encode.batched or len(tasks) == 1:
+        return [encode(task, link) for task in tasks]
+    return link.frontend.encode_windows(
+        np.stack([task.codes for task in tasks]),
+        indices=[task.window_index for task in tasks],
+    )
 
 
 def transport(packet: WindowPacket, task: WindowTask) -> WindowPacket:

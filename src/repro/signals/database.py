@@ -41,6 +41,7 @@ __all__ = [
     "MITBIH_RECORD_NAMES",
     "RecordProfile",
     "record_profile",
+    "synthesize_with_beats_loop",
     "load_record",
     "load_database",
     "SyntheticDatabase",
@@ -194,9 +195,17 @@ def _synthesize_with_beats(
     peak = float(np.max(np.abs(z))) if n else 0.0
     if peak > 0:
         z = z * (profile.amplitude_mv / peak)
+    return z, _r_peak_annotations(theta, beat_index, beat_is_pvc, n_beats)
 
-    # R peaks: the sample in each beat closest to theta == 0 (the R wave's
-    # angular position in both morphologies' QRS complex).
+
+def _r_peak_annotations(
+    theta: np.ndarray,
+    beat_index: np.ndarray,
+    beat_is_pvc: np.ndarray,
+    n_beats: int,
+) -> List[BeatAnnotation]:
+    """R peaks: the sample in each beat closest to theta == 0 (the R wave's
+    angular position in both morphologies' QRS complex)."""
     annotations: List[BeatAnnotation] = []
     for k in range(n_beats):
         samples = np.nonzero(beat_index == k)[0]
@@ -208,13 +217,89 @@ def _synthesize_with_beats(
             continue
         symbol = "V" if beat_is_pvc[k] else "N"
         annotations.append(BeatAnnotation(sample=int(local), symbol=symbol))
-    return z, annotations
+    return annotations
+
+
+def synthesize_with_beats_loop(
+    profile: RecordProfile,
+    duration_s: float,
+    fs_hz: float,
+    lead: str = "MLII",
+) -> Tuple[np.ndarray, List[BeatAnnotation]]:
+    """Per-sample scalar oracle for :func:`_synthesize_with_beats`.
+
+    Same randomness, beat schedule and discretization, executed one
+    sample at a time (phase accumulation, per-beat morphology selection,
+    forcing evaluation and the exponential-integrator update).  The
+    waveform and annotations are **bit-identical** to the array path —
+    asserted by the test suite, and the basis of the database-synthesis
+    speedup reported in ``BENCH_encode.json``.
+    """
+    if lead not in _LEAD_MORPHOLOGIES:
+        raise KeyError(
+            f"unknown lead {lead!r}; choose from {sorted(_LEAD_MORPHOLOGIES)}"
+        )
+    rng = np.random.default_rng(profile.seed + 1)
+    n = int(round(duration_s * fs_hz))
+    dt = 1.0 / fs_hz
+
+    rr = rr_tachogram(n, fs_hz, profile.rr_params(), rng)
+    omega = 2.0 * np.pi / rr
+
+    theta_unwrapped = np.empty(n)
+    theta = np.empty(n)
+    beat_index = np.empty(n, dtype=int)
+    accumulated = omega.dtype.type(0.0)
+    theta_unwrapped[0] = -np.pi
+    for k in range(1, n):
+        accumulated = accumulated + omega[k - 1]
+        theta_unwrapped[k] = -np.pi + accumulated * dt
+    for k in range(n):
+        theta[k] = (theta_unwrapped[k] + np.pi) % (2.0 * np.pi) - np.pi
+        beat_index[k] = int(
+            np.floor((theta_unwrapped[k] + np.pi) / (2.0 * np.pi))
+        )
+    n_beats = int(beat_index.max()) + 1
+
+    beat_is_pvc = rng.uniform(size=n_beats) < profile.pvc_probability
+    sinus_morph, pvc_morph = _LEAD_MORPHOLOGIES[lead]
+
+    decay = float(np.exp(-dt))
+    zi_gain = 1.0 - decay
+    z = np.empty(n)
+    state = 0.0
+    for k in range(n):
+        morph = pvc_morph if beat_is_pvc[beat_index[k]] else sinus_morph
+        drive_k = _gaussian_wave_drive(
+            theta[k : k + 1], omega[k : k + 1], morph
+        )[0]
+        z0_k = 0.005 * np.sin(2.0 * np.pi * 0.25 * (np.float64(k) * dt))
+        y_k = zi_gain * (z0_k + drive_k) + state
+        state = decay * y_k
+        z[k] = y_k
+
+    peak = float(np.max(np.abs(z))) if n else 0.0
+    if peak > 0:
+        z = z * (profile.amplitude_mv / peak)
+    return z, _r_peak_annotations(theta, beat_index, beat_is_pvc, n_beats)
 
 
 @lru_cache(maxsize=64)
 def _load_record_cached(
     name: str, duration_s: float, fs_hz: float, clean: bool, lead: str
 ) -> Record:
+    """Synthesize (or fetch) the record for one exact parameter tuple.
+
+    LRU semantics the rest of the repo relies on:
+
+    * a cache hit returns the *same* :class:`Record` object — callers
+      must treat records as immutable (``Record`` is frozen and its
+      arrays are never written in-repo);
+    * eviction (more than 64 distinct parameter tuples in flight) only
+      costs time: synthesis is a deterministic function of the key, so a
+      re-synthesized record is byte-identical to the evicted one.  Both
+      properties are pinned by ``tests/signals/test_database.py``.
+    """
     profile = record_profile(name)
     header = RecordHeader(
         fs_hz=fs_hz,
@@ -272,6 +357,9 @@ def load_record(
     -------
     Record
         Deterministic for a given ``(name, duration_s, fs_hz, clean, lead)``.
+        Results are memoized per exact parameter tuple (LRU, 64 entries);
+        repeated loads return the same immutable object, and eviction
+        never changes record bytes (see :func:`_load_record_cached`).
     """
     if duration_s <= 0:
         raise ValueError("duration_s must be positive")

@@ -10,7 +10,7 @@ paper's experiments is that the signal is (a) quasi-periodic and wavelet-
 compressible like real ECG and (b) quantized the way MIT-BIH is; the model
 preserves both.
 
-Two integrators are provided:
+Three integrators are provided:
 
 * :func:`synthesize_ecg` — the default fast phase-domain integrator.  It
   exploits the model structure: the limit cycle attracts ``(x, y)`` to the
@@ -19,10 +19,16 @@ Two integrators are provided:
   forcing which we discretize exactly (exponential integrator, implemented
   as a vectorized IIR filter).
 
+* :func:`synthesize_loop` — the same discretization executed one sample at
+  a time in Python.  It is the differential-testing oracle and throughput
+  baseline for the array path (the PR-4 pattern of
+  ``recover_windows_loop``): the test suite asserts the two are
+  bit-identical, and ``BENCH_encode.json`` reports the speedup.
+
 * :func:`integrate_reference` — a faithful RK4 integration of the full
   three-state nonlinear ODE, used as a cross-check in the test suite.
 
-Both return the waveform in millivolts; quantization to ADC units happens in
+All return the waveform in millivolts; quantization to ADC units happens in
 :mod:`repro.signals.database`.
 """
 
@@ -39,6 +45,7 @@ __all__ = [
     "RRParameters",
     "rr_tachogram",
     "synthesize_ecg",
+    "synthesize_loop",
     "integrate_reference",
     "NORMAL_MORPHOLOGY",
     "PVC_MORPHOLOGY",
@@ -286,6 +293,72 @@ def synthesize_ecg(
     z = sps.lfilter([zi_gain], [1.0, -decay], u)
 
     # Rescale so the R peak sits near amplitude_mv.
+    peak = float(np.max(np.abs(z)))
+    if peak > 0:
+        z = z * (amplitude_mv / peak)
+    return z + z_baseline_mv
+
+
+def synthesize_loop(
+    duration_s: float,
+    fs_hz: float = 360.0,
+    *,
+    morphology: EcgMorphology = NORMAL_MORPHOLOGY,
+    rr_params: RRParameters = RRParameters(),
+    amplitude_mv: float = 1.0,
+    z_baseline_mv: float = 0.0,
+    resp_rate_hz: float = 0.25,
+    resp_amplitude_mv: float = 0.005,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Per-sample scalar oracle for :func:`synthesize_ecg`.
+
+    Same model, same randomness, same discretization — but the phase
+    accumulation, forcing evaluation and exponential-integrator update
+    run one sample at a time in Python.  The output is **bit-identical**
+    to the vectorized path: the accumulations it unrolls (``np.cumsum``,
+    the 5-wave bump sum, the first-order IIR) match numpy's sequential
+    semantics exactly, and numpy's elementwise transcendentals are
+    length-independent.  Kept as the differential-testing oracle and as
+    the throughput baseline of the synthesis microbenchmark.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    if fs_hz <= 0:
+        raise ValueError("fs_hz must be positive")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    n = int(round(duration_s * fs_hz))
+    dt = 1.0 / fs_hz
+
+    # Identical RNG draw order to synthesize_ecg: tachogram, then theta0.
+    rr = rr_tachogram(n, fs_hz, rr_params, rng)
+    omega = 2.0 * np.pi / rr
+    theta0 = rng.uniform(-np.pi, np.pi)
+
+    theta = np.empty(n)
+    accumulated = omega.dtype.type(0.0)
+    theta[0] = (theta0 + np.pi) % (2.0 * np.pi) - np.pi
+    for k in range(1, n):
+        accumulated = accumulated + omega[k - 1]
+        theta[k] = (theta0 + accumulated * dt + np.pi) % (2.0 * np.pi) - np.pi
+
+    decay = float(np.exp(-dt))
+    zi_gain = 1.0 - decay
+    two_pi_resp = 2.0 * np.pi * resp_rate_hz
+    z = np.empty(n)
+    state = 0.0
+    for k in range(n):
+        z0_k = resp_amplitude_mv * np.sin(two_pi_resp * (np.float64(k) * dt))
+        drive_k = _gaussian_wave_drive(
+            theta[k : k + 1], omega[k : k + 1], morphology
+        )[0]
+        u_k = z0_k + drive_k
+        y_k = zi_gain * u_k + state
+        state = decay * y_k
+        z[k] = y_k
+
     peak = float(np.max(np.abs(z)))
     if peak > 0:
         z = z * (amplitude_mv / peak)

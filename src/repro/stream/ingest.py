@@ -155,19 +155,30 @@ class IngestSession:
         """
         arr = check_shape(samples, (None,), name="samples")
         arr = check_dtype(arr, "integer", name="samples")
-        frames: List[StreamFrame] = []
-        for window in self._framer.push(arr):
-            index = self._framer.windows_emitted - 1
-            packet = self._frontend.process_window(window, index)
-            frames.append(
-                StreamFrame(
-                    patient_id=self.patient_id,
-                    packet=packet,
-                    crc=payload_crc(packet),
-                    reference=window.copy() if self.carry_reference else None,
-                )
+        windows = list(self._framer.push(arr))
+        if not windows:
+            return []
+        base = self._framer.windows_emitted - len(windows)
+        if self.config.encode.batched and len(windows) > 1:
+            # One engine call for every window this chunk completed —
+            # bit-identical to the per-window path (docs/encoding.md).
+            packets = self._frontend.encode_windows(
+                np.stack(windows), start_index=base
             )
-        return frames
+        else:
+            packets = [
+                self._frontend.process_window(window, base + offset)
+                for offset, window in enumerate(windows)
+            ]
+        return [
+            StreamFrame(
+                patient_id=self.patient_id,
+                packet=packet,
+                crc=payload_crc(packet),
+                reference=window.copy() if self.carry_reference else None,
+            )
+            for packet, window in zip(packets, windows)
+        ]
 
     def flush(self) -> np.ndarray:
         """Discard and return the buffered partial window (1-D, possibly empty).

@@ -1,5 +1,6 @@
 """Tests of the MSB-first bit writer/reader."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -54,6 +55,98 @@ class TestBitWriter:
         w = BitWriter()
         w.write_bits(0, 0)
         assert w.bit_length == 0
+
+
+class TestWriteBitsArray:
+    """The bulk path must be indistinguishable from the scalar loop."""
+
+    def _reference(self, values, lengths):
+        w = BitWriter()
+        for value, n_bits in zip(values, lengths):
+            w.write_bits(int(value), int(n_bits))
+        return w
+
+    def test_matches_scalar_loop(self):
+        rng = np.random.default_rng(0)
+        lengths = rng.integers(0, 21, size=200)
+        values = np.array(
+            [int(rng.integers(0, 1 << n)) if n else 0 for n in lengths]
+        )
+        w = BitWriter()
+        w.write_bits_array(values, lengths)
+        ref = self._reference(values, lengths)
+        assert w.getvalue() == ref.getvalue()
+        assert w.bit_length == ref.bit_length
+
+    def test_merges_with_partial_byte(self):
+        """Bulk writes after bit-level writes continue the same stream."""
+        w = BitWriter()
+        w.write_bits(0b101, 3)
+        w.write_bits_array([0b11, 0x1F], [2, 5])
+        ref = self._reference([0b101, 0b11, 0x1F], [3, 2, 5])
+        assert w.getvalue() == ref.getvalue()
+        assert w.bit_length == ref.bit_length
+
+    def test_scalar_writes_after_bulk(self):
+        w = BitWriter()
+        w.write_bits_array([0x2A], [7])
+        w.write_bits(1, 1)
+        assert w.getvalue() == self._reference([0x2A, 1], [7, 1]).getvalue()
+
+    def test_empty_and_zero_length_fields(self):
+        w = BitWriter()
+        w.write_bits_array([], [])
+        w.write_bits_array([0, 0b11, 0], [0, 2, 0])
+        assert w.bit_length == 2
+        assert w.getvalue() == b"\xc0"
+
+    def test_wide_fields_take_scalar_fallback(self):
+        w = BitWriter()
+        w.write_bits_array(np.array([0xABCDEF], dtype=np.uint64), [70])
+        assert w.getvalue() == self._reference([0xABCDEF], [70]).getvalue()
+
+    def test_64_bit_field_accepted(self):
+        value = (1 << 64) - 1
+        w = BitWriter()
+        w.write_bits_array(np.array([value], dtype=np.uint64), [64])
+        assert w.getvalue() == self._reference([value], [64]).getvalue()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits_array([1, 2], [1])
+
+    def test_float_values_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits_array(np.array([1.5]), [2])
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits_array([1], [-1])
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits_array([-1], [4])
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits_array([8], [3])
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2**20 - 1), st.integers(0, 20)),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    def test_bulk_equals_loop_property(self, fields):
+        values = [v % (1 << width) if width else 0 for v, width in fields]
+        lengths = [width for _, width in fields]
+        w = BitWriter()
+        w.write_bits_array(values, lengths)
+        ref = self._reference(values, lengths)
+        assert w.getvalue() == ref.getvalue()
+        assert w.bit_length == ref.bit_length
 
 
 class TestBitReader:

@@ -52,6 +52,29 @@ class TestStatistics:
         hist = difference_histogram(codes)
         assert hist == {0: 3, 1: 1, -1: 1}
 
+    def test_histogram_matches_counter(self, rng):
+        """The bincount fast path equals symbol-by-symbol counting."""
+        from collections import Counter
+
+        codes = rng.integers(0, 128, size=2000)
+        _, diffs = difference_encode(codes)
+        expected = {int(k): int(v) for k, v in Counter(diffs.tolist()).items()}
+        assert difference_histogram(codes) == expected
+
+    def test_histogram_keys_ascending(self, rng):
+        codes = rng.integers(0, 128, size=500)
+        keys = list(difference_histogram(codes))
+        assert keys == sorted(keys)
+
+    def test_histogram_single_sample_empty(self):
+        assert difference_histogram(np.array([3], dtype=np.int64)) == {}
+
+    def test_histogram_wide_span_fallback(self):
+        """Ranges beyond the bincount limit go through np.unique."""
+        codes = np.array([0, 1 << 22, 0, 1 << 22], dtype=np.int64)
+        hist = difference_histogram(codes)
+        assert hist == {-(1 << 22): 1, (1 << 22): 2}
+
     def test_pdf_sums_to_one(self, rng):
         codes = rng.integers(0, 16, size=1000)
         support, probs = difference_pdf(codes)

@@ -1,0 +1,107 @@
+"""Smoke tests of the encoder microbenchmark and its report section."""
+
+import json
+
+import pytest
+
+from repro.core.config import FrontEndConfig
+from repro.experiments.encode_bench import (
+    encode_bench_payload,
+    run_encode_bench,
+    run_synth_bench,
+)
+from repro.experiments.report import bench_encode_section
+from repro.recovery.pdhg import PdhgSettings
+
+SMALL = FrontEndConfig(
+    window_len=128,
+    n_measurements=48,
+    solver=PdhgSettings(max_iter=100, tol=1e-3),
+)
+
+
+@pytest.fixture(scope="module")
+def encode_cells():
+    return run_encode_bench(
+        SMALL, [50.0, 75.0], record_name="100", n_windows=6, duration_s=4.0
+    )
+
+
+@pytest.fixture(scope="module")
+def synth_cells():
+    return run_synth_bench(
+        duration_s=1.0, database_records=("100",), database_duration_s=1.0
+    )
+
+
+class TestRunEncodeBench:
+    def test_grid_shape(self, encode_cells):
+        assert [(c.method, c.cr_percent) for c in encode_cells] == [
+            (m, cr)
+            for m in ("hybrid", "normal")
+            for cr in (
+                SMALL.for_cr(50.0).cs_cr_percent,
+                SMALL.for_cr(75.0).cs_cr_percent,
+            )
+        ]
+
+    def test_bytes_identical_everywhere(self, encode_cells):
+        assert all(c.bytes_identical for c in encode_cells)
+
+    def test_throughput_fields(self, encode_cells):
+        for cell in encode_cells:
+            assert cell.n_windows == 6
+            assert cell.loop_windows_per_sec > 0
+            assert cell.batched_windows_per_sec > 0
+            assert cell.speedup == pytest.approx(
+                cell.loop_s / cell.batched_s
+            )
+
+
+class TestRunSynthBench:
+    def test_kinds_and_identity(self, synth_cells):
+        assert [c.kind for c in synth_cells] == ["ecgsyn", "database"]
+        assert all(c.identical for c in synth_cells)
+        assert all(c.vectorized_samples_per_sec > 0 for c in synth_cells)
+
+
+class TestPayload:
+    def test_schema_and_gated_fields(self, encode_cells, synth_cells):
+        payload = encode_bench_payload(encode_cells, synth_cells, smoke=True)
+        assert payload["schema"] == "repro-bench-encode/v1"
+        assert payload["smoke"] is True
+        assert payload["all_bytes_identical"] is True
+        hybrid = [c for c in payload["cells"] if c["method"] == "hybrid"]
+        assert payload["min_encode_speedup"] == pytest.approx(
+            min(c["speedup"] for c in hybrid)
+        )
+        synth = payload["synth"]
+        assert synth["all_identical"] is True
+        db = [c for c in synth["cells"] if c["kind"] == "database"]
+        assert synth["database_speedup"] == pytest.approx(db[0]["speedup"])
+
+    def test_round_trips_through_json(self, encode_cells, synth_cells):
+        payload = encode_bench_payload(encode_cells, synth_cells, smoke=True)
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestReportSection:
+    def test_absent_artifact_renders_nothing(self, tmp_path):
+        assert bench_encode_section(tmp_path) == ""
+
+    def test_corrupt_artifact_renders_nothing(self, tmp_path):
+        (tmp_path / "BENCH_encode.json").write_text("not json")
+        assert bench_encode_section(tmp_path) == ""
+
+    def test_renders_cells_and_synth(
+        self, tmp_path, encode_cells, synth_cells
+    ):
+        payload = encode_bench_payload(encode_cells, synth_cells, smoke=True)
+        (tmp_path / "BENCH_encode.json").write_text(json.dumps(payload))
+        section = bench_encode_section(tmp_path)
+        assert "## Encode engine" in section
+        assert "| hybrid |" in section
+        assert "| normal |" in section
+        assert "### Synthesis kernels" in section
+        assert "| ecgsyn |" in section
+        assert "minimum hybrid-encoder speedup" in section

@@ -201,3 +201,50 @@ class TestInterleavePlayback:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             next(interleave_playback([], 100))
+
+
+class TestBeatsLoopOracle:
+    """Per-sample database synthesis must equal the vectorized path."""
+
+    @pytest.mark.parametrize("name", ["100", "119"])
+    @pytest.mark.parametrize("lead", ["MLII", "V5"])
+    def test_bit_identical(self, name, lead):
+        from repro.signals.database import (
+            _synthesize_with_beats,
+            synthesize_with_beats_loop,
+        )
+
+        profile = record_profile(name)
+        fast_z, fast_ann = _synthesize_with_beats(profile, 2.0, 360.0, lead)
+        slow_z, slow_ann = synthesize_with_beats_loop(profile, 2.0, 360.0, lead)
+        assert np.array_equal(fast_z, slow_z)
+        assert fast_ann == slow_ann
+
+
+class TestRecordCacheLru:
+    """Pins the _load_record_cached LRU semantics its docstring promises."""
+
+    def test_cache_hit_returns_same_object(self):
+        a = load_record("100", duration_s=1.27)
+        b = load_record("100", duration_s=1.27)
+        assert a is b
+
+    def test_distinct_parameters_distinct_entries(self):
+        a = load_record("100", duration_s=1.27)
+        b = load_record("100", duration_s=1.27, clean=True)
+        assert a is not b
+
+    def test_eviction_preserves_record_bytes(self):
+        # More than 64 distinct parameter tuples forces eviction of the
+        # first entry; re-synthesis must be byte-identical (the record is
+        # a pure function of its parameters).
+        first = load_record("100", duration_s=1.31)
+        adu = first.adu.copy()
+        annotations = list(first.annotations)
+        for i in range(70):
+            load_record("101", duration_s=1.0 + 0.01 * i)
+        again = load_record("100", duration_s=1.31)
+        assert again is not first  # evicted, so freshly synthesized
+        assert np.array_equal(again.adu, adu)
+        assert list(again.annotations) == annotations
+        assert again.header == first.header

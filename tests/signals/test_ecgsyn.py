@@ -11,6 +11,7 @@ from repro.signals.ecgsyn import (
     integrate_reference,
     rr_tachogram,
     synthesize_ecg,
+    synthesize_loop,
 )
 
 
@@ -144,3 +145,38 @@ class TestReferenceIntegrator:
             integrate_reference(-1.0)
         with pytest.raises(ValueError):
             integrate_reference(1.0, oversample=0)
+
+
+class TestScalarOracle:
+    """The per-sample loop must match the vectorized integrator bit for bit."""
+
+    def test_bit_identical_default_params(self):
+        fast = synthesize_ecg(2.0, 360.0, seed=3)
+        slow = synthesize_loop(2.0, 360.0, seed=3)
+        assert np.array_equal(fast, slow)
+
+    def test_bit_identical_across_seeds(self):
+        for seed in (0, 7, 123):
+            assert np.array_equal(
+                synthesize_ecg(1.0, 250.0, seed=seed),
+                synthesize_loop(1.0, 250.0, seed=seed),
+            )
+
+    def test_bit_identical_custom_morphology_and_rr(self):
+        kwargs = dict(
+            morphology=PVC_MORPHOLOGY,
+            rr_params=RRParameters(mean_hr_bpm=75.0, std_hr_bpm=2.0),
+            amplitude_mv=1.4,
+            z_baseline_mv=0.1,
+            resp_rate_hz=0.3,
+            resp_amplitude_mv=0.01,
+            seed=5,
+        )
+        assert np.array_equal(
+            synthesize_ecg(1.5, 360.0, **kwargs),
+            synthesize_loop(1.5, 360.0, **kwargs),
+        )
+
+    def test_oracle_validates_like_fast_path(self):
+        with pytest.raises(ValueError):
+            synthesize_loop(-1.0, 360.0)

@@ -77,6 +77,30 @@ class TestBitIdentity:
             p.to_bytes() for p in batch
         ]
 
+    def test_batched_branch_equals_scalar_sessions(
+        self, stream_config, stream_record
+    ):
+        # A large push completes many windows at once and takes the batch
+        # engine; a batched=False session must emit identical frames.
+        import dataclasses
+
+        from repro.core.encode_batch import EncodeEngineSettings
+
+        scalar_config = dataclasses.replace(
+            stream_config, encode=EncodeEngineSettings(batched=False)
+        )
+        batched = IngestSession(stream_record.name, stream_config)
+        scalar = IngestSession(stream_record.name, scalar_config)
+        frames_batched = batched.push(stream_record.adu)
+        frames_scalar = scalar.push(stream_record.adu)
+        assert len(frames_batched) > 1
+        assert [f.packet.to_bytes() for f in frames_batched] == [
+            f.packet.to_bytes() for f in frames_scalar
+        ]
+        assert [f.crc for f in frames_batched] == [
+            f.crc for f in frames_scalar
+        ]
+
     def test_chunking_invariance(self, stream_config, stream_record):
         # Two arbitrary chunkings of the same stream emit identical frames.
         a = IngestSession(stream_record.name, stream_config)
