@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-cov lint bench bench-smoke bench-encode-smoke bench-full stream-smoke report examples clean-cache
+.PHONY: install test test-fast test-cov lint lint-fast lint-sarif bench bench-smoke bench-encode-smoke bench-full stream-smoke report examples clean-cache
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -28,6 +28,17 @@ test-cov:
 
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.cli lint src --strict
+
+# The quick local loop: warm content-hash cache, all CPUs for the
+# per-file pass, findings reported only for files changed vs HEAD
+# (the whole-program RL1xx analysis still sees every file).
+lint-fast:
+	PYTHONPATH=src $(PYTHON) -m repro.cli lint src --strict --jobs 0 --changed
+
+# The CI artifact: the same strict run, written as SARIF 2.1.0.
+lint-sarif:
+	PYTHONPATH=src $(PYTHON) -m repro.cli lint src --strict \
+		--format sarif --output benchmarks/results/LINT.sarif
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -24,6 +24,11 @@ whether the flag is on or off.
 
 from __future__ import annotations
 
+# reprolint: disable-file=RL100 -- compat facade: run_record/run_database
+# predate the engine and keep their public home here while callers
+# migrate; the layering arrow core→runtime is deliberate in this one
+# module (see docs/architecture.md).
+
 from typing import List, Optional, Sequence
 
 from repro.coding.codebook import DifferenceCodebook

@@ -1,13 +1,25 @@
 """``reprolint`` — domain-aware static analysis for the CS pipeline.
 
-Public surface: the rule framework (:class:`Rule`, :func:`register`,
-:func:`get_rules`, :func:`all_rule_ids`), the runner
-(:func:`lint_paths`, :func:`lint_source`, :func:`iter_python_files`),
-the :class:`Finding` record, and the two reporters.  Importing the
-package loads the built-in RL001–RL007 rule set into the registry.
+Two passes over the tree: per-file rules (RL001–RL007) against a
+:class:`FileContext`, then the whole-program RL1xx family — import
+layering, cycles, executor-payload picklability, shared-state safety,
+contract/doc drift — against a :class:`ProjectModel` assembled from
+per-file :class:`ModuleSummary` records.  The runner adds a
+content-hash result cache, a multiprocess pass 1 (``--jobs``) and
+git-diff report scoping (``--changed``); reporters cover human text,
+versioned JSON and SARIF 2.1.0.
 
-Run it as ``repro lint <paths> [--strict] [--format json]`` or through
-``make lint``.
+Public surface: the rule framework (:class:`Rule`,
+:class:`ProgramRule`, :func:`register`, :func:`get_rules`,
+:func:`all_rule_ids`), the runners (:func:`lint_paths`,
+:func:`lint_source`, :func:`run_lint`, :func:`iter_python_files`), the
+project model (:class:`ProjectModel`, :class:`ModuleSummary`,
+:class:`LayerConfig`, :data:`REPRO_LAYERS`), the :class:`Finding`
+record, and the three reporters.  Importing the package loads both
+built-in rule sets into the registry.
+
+Run it as ``repro lint <paths> [--strict] [--jobs N] [--changed]
+[--format json|sarif]`` or through ``make lint`` / ``make lint-fast``.
 """
 
 from __future__ import annotations
@@ -21,26 +33,44 @@ from repro.devtools.reprolint.core import (
     iter_python_files,
     lint_paths,
     lint_source,
+    read_source,
     register,
 )
 from repro.devtools.reprolint import rules as _builtin_rules  # noqa: F401
+from repro.devtools.reprolint import rules_program as _program_rules  # noqa: F401
+from repro.devtools.reprolint.graph import LayerConfig, REPRO_LAYERS
+from repro.devtools.reprolint.project import ModuleSummary, ProjectModel
+from repro.devtools.reprolint.rules_program import ProgramRule
+from repro.devtools.reprolint.runner import LintRun, run_lint
 from repro.devtools.reprolint.reporters import (
     JSON_SCHEMA_VERSION,
+    SARIF_VERSION,
     render_json,
+    render_sarif,
     render_text,
 )
 
 __all__ = [
     "FileContext",
     "Finding",
+    "LayerConfig",
+    "LintRun",
+    "ModuleSummary",
+    "ProgramRule",
+    "ProjectModel",
+    "REPRO_LAYERS",
     "Rule",
     "all_rule_ids",
     "get_rules",
     "iter_python_files",
     "lint_paths",
     "lint_source",
+    "read_source",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
+    "run_lint",
     "JSON_SCHEMA_VERSION",
+    "SARIF_VERSION",
 ]

@@ -1,0 +1,169 @@
+"""Content-hash keyed result cache for the lint runner.
+
+A warm ``repro lint src/`` should pay for parsing only the files that
+changed.  The cache maps ``sha256(relative path + file bytes)`` to the
+file's per-file findings *and* its :class:`ModuleSummary`, so a hit
+skips decoding, parsing and every file-scope rule — the program pass
+then runs over cached summaries, which is cheap.
+
+Invalidation is by construction, never by mtime: the key covers the
+file content (suppression comments included), and the store's
+*signature* covers the analyzer itself — a digest of every module in
+``repro.devtools.reprolint`` plus the effective file-rule selection.
+Editing a rule, adding one, or changing ``--select``/``--ignore`` lands
+in a different cache file; stale stores are simply never read.  Writes
+are atomic (tmp + rename) so parallel CI jobs at worst waste a write.
+
+Hit/miss counters are exposed on the instance — the test suite asserts
+warm-run speedup through them rather than wall-clock.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.devtools.reprolint.core import Finding
+from repro.devtools.reprolint.project import ModuleSummary
+
+__all__ = ["LintCache", "analyzer_signature", "content_key", "CACHE_SCHEMA"]
+
+CACHE_SCHEMA = 1
+
+_ANALYZER_DIGEST: Optional[str] = None
+
+
+def analyzer_signature(rule_ids: Sequence[str]) -> str:
+    """Digest of the analyzer source plus the effective file-rule set.
+
+    Two runs share cached results only when every reprolint module is
+    byte-identical and the same file rules are enabled.
+    """
+    global _ANALYZER_DIGEST
+    if _ANALYZER_DIGEST is None:
+        digest = hashlib.sha256()
+        package_dir = Path(__file__).parent
+        for module in sorted(package_dir.glob("*.py")):
+            digest.update(module.name.encode())
+            digest.update(module.read_bytes())
+        _ANALYZER_DIGEST = digest.hexdigest()
+    tail = hashlib.sha256(
+        ("\0".join(sorted(rule_ids)) + "|" + str(CACHE_SCHEMA)).encode()
+    ).hexdigest()
+    return hashlib.sha256((_ANALYZER_DIGEST + tail).encode()).hexdigest()
+
+
+def content_key(path: Path, data: bytes) -> str:
+    """The cache key for one file: relative-ish path + raw bytes."""
+    digest = hashlib.sha256()
+    digest.update(str(path).encode())
+    digest.update(b"\0")
+    digest.update(data)
+    return digest.hexdigest()
+
+
+class LintCache:
+    """One JSON store per analyzer signature, with hit accounting."""
+
+    def __init__(self, cache_dir: Path, signature: str) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.signature = signature
+        self.path = self.cache_dir / f"reprolint-{signature[:16]}.json"
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, dict] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if (
+            raw.get("schema") != CACHE_SCHEMA
+            or raw.get("signature") != self.signature
+        ):
+            return
+        entries = raw.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def get(
+        self, key: str
+    ) -> Optional[Tuple[List[Finding], Optional[ModuleSummary]]]:
+        """Cached ``(findings, summary)`` for ``key``, or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        findings = [Finding(**f) for f in entry.get("findings", [])]
+        summary_data = entry.get("summary")
+        summary = (
+            ModuleSummary.from_dict(summary_data)
+            if summary_data is not None
+            else None
+        )
+        return findings, summary
+
+    def put(
+        self,
+        key: str,
+        findings: Sequence[Finding],
+        summary: Optional[ModuleSummary],
+    ) -> None:
+        """Store one file's pass-1 results."""
+        self._entries[key] = {
+            "findings": [
+                {
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "rule_id": f.rule_id,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+            "summary": summary.to_dict() if summary is not None else None,
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        """Atomically persist the store (no-op when nothing changed)."""
+        if not self._dirty:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {
+                "schema": CACHE_SCHEMA,
+                "signature": self.signature,
+                "entries": self._entries,
+            },
+            sort_keys=True,
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.cache_dir), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp, self.path)
+        except OSError:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+        self._dirty = False
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters plus store size."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+        }

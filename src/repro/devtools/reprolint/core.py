@@ -35,6 +35,8 @@ __all__ = [
     "all_rule_ids",
     "get_rules",
     "iter_python_files",
+    "read_source",
+    "decode_failure_finding",
     "lint_source",
     "lint_paths",
 ]
@@ -158,11 +160,19 @@ class FileContext:
 
 
 class Rule:
-    """Base class for lint rules; subclass and :func:`register`."""
+    """Base class for lint rules; subclass and :func:`register`.
+
+    ``scope`` partitions the registry between the two runner passes:
+    ``"file"`` rules see one :class:`FileContext` at a time (and are
+    cacheable per file), ``"program"`` rules run once over the whole
+    :class:`~repro.devtools.reprolint.project.ProjectModel` after every
+    file has been summarized.
+    """
 
     rule_id: str = ""
     title: str = ""
     rationale: str = ""
+    scope: str = "file"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         """Yield findings for one file (override in subclasses)."""
@@ -210,10 +220,50 @@ def get_rules(
     return [_REGISTRY[rid]() for rid in sorted(chosen - dropped)]
 
 
+def read_source(path: Path) -> str:
+    """Decode one source file the way the Python tokenizer would.
+
+    Honors a UTF-8 BOM and PEP 263 ``# -*- coding: ... -*-`` declarations
+    (the plain ``read_text(encoding="utf-8")`` the runner used before
+    crashed the whole run on either).  Decode failures — an unknown
+    codec name, or bytes invalid under the declared codec — are raised
+    for the caller to convert into an ``RL000`` finding via
+    :func:`decode_failure_finding`.
+    """
+    data = Path(path).read_bytes()
+    try:
+        encoding, _ = tokenize.detect_encoding(io.BytesIO(data).readline)
+        source = data.decode(encoding)
+    except (LookupError, UnicodeDecodeError, SyntaxError) as exc:
+        raise UnicodeDecodeError(
+            "reprolint", data[:64], 0, 1, f"cannot decode {path}: {exc}"
+        ) from exc
+    # detect_encoding leaves the BOM in place for plain utf-8; strip it
+    # so ast.parse does not choke on the leading U+FEFF.
+    return source.lstrip("\ufeff")
+
+
+def decode_failure_finding(path: Path, exc: Exception) -> Finding:
+    """The ``RL000`` finding for a file that cannot be decoded."""
+    reason = getattr(exc, "reason", None) or str(exc)
+    return Finding(
+        path=str(path),
+        line=1,
+        col=0,
+        rule_id="RL000",
+        message=f"file cannot be decoded: {reason}",
+    )
+
+
 def lint_source(
     source: str, path: Path, rules: Sequence[Rule]
 ) -> List[Finding]:
-    """Run ``rules`` over one module's text, honoring suppressions."""
+    """Run the file-scope ``rules`` over one module's text.
+
+    Suppression comments are honored; program-scope rules in ``rules``
+    are skipped (they need a whole project, see
+    :func:`repro.devtools.reprolint.runner.run_lint`).
+    """
     try:
         ctx = FileContext(Path(path), source)
     except SyntaxError as exc:
@@ -227,7 +277,11 @@ def lint_source(
             )
         ]
     findings = [
-        f for rule in rules for f in rule.check(ctx) if not ctx.is_suppressed(f)
+        f
+        for rule in rules
+        if rule.scope == "file"
+        for f in rule.check(ctx)
+        if not ctx.is_suppressed(f)
     ]
     return sorted(findings)
 
@@ -252,12 +306,19 @@ def lint_paths(
     paths: Iterable[Path],
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
+    layers=None,
 ) -> List[Finding]:
-    """Lint every Python file under ``paths``; the main library entry."""
-    rules = get_rules(select=select, ignore=ignore)
-    findings: List[Finding] = []
-    for file in iter_python_files(paths):
-        findings.extend(
-            lint_source(file.read_text(encoding="utf-8"), file, rules)
-        )
-    return sorted(findings)
+    """Lint every Python file under ``paths``; the main library entry.
+
+    Runs both passes — per-file rules and the whole-program RL1xx family
+    over the project model built from exactly these files — serially and
+    without the result cache (the CLI runner adds caching and ``--jobs``;
+    see :func:`repro.devtools.reprolint.runner.run_lint`).  ``layers``
+    overrides the import-layering config for RL100 (tests use this to
+    lint fixture projects against fixture layers).
+    """
+    from repro.devtools.reprolint.runner import run_lint
+
+    return run_lint(
+        paths, select=select, ignore=ignore, use_cache=False, layers=layers
+    ).findings

@@ -148,7 +148,8 @@ class IngestSession:
     def push(self, samples: np.ndarray) -> List[StreamFrame]:
         """Feed a chunk of acquisition codes; return newly completed frames.
 
-        Chunks may have any length (including empty); window boundaries
+        ``samples`` is a 1-D integer array of any length (including
+        empty); window boundaries
         never have to align with chunk boundaries.  Frames come back in
         window order with consecutive ``window_index`` values starting
         at zero.

@@ -1,0 +1,1 @@
+"""Fixture project for the RL1xx whole-program rules."""

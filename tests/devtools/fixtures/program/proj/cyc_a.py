@@ -1,0 +1,8 @@
+"""RL101 positive, half one: imports its own importer at module level."""
+
+from proj import cyc_b
+
+
+def ping():
+    """Bounce through the cycle."""
+    return cyc_b.pong()

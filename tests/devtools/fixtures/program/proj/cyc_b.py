@@ -1,0 +1,8 @@
+"""RL101 positive, half two: completes the import cycle."""
+
+from proj import cyc_a
+
+
+def pong():
+    """Bounce back through the cycle."""
+    return cyc_a.ping.__name__

@@ -1,0 +1,1 @@
+"""Top layer of the fixture project."""

@@ -1,0 +1,8 @@
+"""RL100 negative: the top layer may import downward freely."""
+
+from proj.low import util
+
+
+def serve():
+    """Return a scalar derived from the bottom layer."""
+    return util.double(21)

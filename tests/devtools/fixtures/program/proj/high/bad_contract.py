@@ -1,0 +1,15 @@
+"""RL104 positive: shape enforced at runtime, never documented."""
+
+from proj import contracts
+from proj.contracts import check_shape
+
+
+def window_energy(block):
+    """Sum the squared samples of one window."""
+    arr = check_shape(block, (None,), name="block")
+    return sum(x * x for x in arr)
+
+
+def window_mean(block):
+    arr = contracts.check_shape(block, (None,), name="block")
+    return sum(arr) / len(arr)

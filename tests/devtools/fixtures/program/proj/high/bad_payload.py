@@ -1,0 +1,32 @@
+"""RL102 positive: unpicklable payloads reach executor boundaries."""
+
+
+def run_lambda(pool, tasks):
+    """Submit a lambda (cannot pickle)."""
+    square = lambda x: x * x  # noqa: E731
+    return [pool.submit(square, t) for t in tasks]
+
+
+def run_inline_lambda(executor, tasks):
+    """Pass a lambda expression straight to run_tasks."""
+    return executor.run_tasks(tasks, lambda t: t)
+
+
+def run_local_def(executor, tasks):
+    """Ship a function defined inside this function."""
+
+    def helper(t):
+        return t
+
+    return executor.run_tasks(tasks, helper)
+
+
+def run_local_instance(pool, items):
+    """Ship an instance of a class defined inside this function."""
+
+    class Worker:
+        def __call__(self, x):
+            return x
+
+    worker = Worker()
+    return list(pool.map(worker, items))

@@ -1,0 +1,15 @@
+"""RL103 positive: mutates another module's state directly."""
+
+from proj.low import state
+
+
+def poison(key, value):
+    """Write into the bottom layer's cache without its accessor."""
+    state.CACHE[key] = value
+    state.HISTORY.append(key)
+
+
+def wipe():
+    """Clear someone else's cache."""
+    state.CACHE.clear()
+    del state.CACHE["stale"]

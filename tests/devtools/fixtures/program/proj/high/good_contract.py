@@ -1,0 +1,19 @@
+"""RL104 negative: documented shapes, private helpers, unrelated names."""
+
+from proj.contracts import check_shape
+
+
+def window_energy(block):
+    """Sum of squares over a 1-D window of shape ``(n,)``."""
+    arr = check_shape(block, (None,), name="block")
+    return sum(x * x for x in arr)
+
+
+def _window_mean(block):
+    arr = check_shape(block, (None,), name="block")
+    return sum(arr) / len(arr)
+
+
+def unrelated(block):
+    """A public function that enforces nothing."""
+    return list(block)

@@ -1,0 +1,20 @@
+"""RL102 negative: module-level callables pickle fine."""
+
+
+def task_fn(t):
+    """A module-level task function (picklable by reference)."""
+    return t
+
+
+class TaskRunner:
+    """A module-level callable class (picklable by reference)."""
+
+    def __call__(self, t):
+        return t
+
+
+def run(executor, tasks):
+    """Submit only module-level callables."""
+    runner = TaskRunner()
+    executor.run_tasks(tasks, task_fn)
+    return list(map(task_fn, tasks)), runner

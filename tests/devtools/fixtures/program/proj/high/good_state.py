@@ -1,0 +1,13 @@
+"""RL103 negative: uses the owner's accessors."""
+
+from proj.low.state import forget, remember
+
+
+def record(key, value):
+    """Route the write through the owning module's accessor."""
+    remember(key, value)
+
+
+def reset():
+    """Route the clear through the owning module's accessor."""
+    forget()

@@ -1,0 +1,1 @@
+"""Bottom layer of the fixture project."""

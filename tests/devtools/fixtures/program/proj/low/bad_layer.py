@@ -1,0 +1,9 @@
+"""RL100 positive: a bottom-layer module importing the top layer."""
+
+from proj.high import app
+import proj.high.app as app_again
+
+
+def use():
+    """Call up the stack (the import is the finding, not the call)."""
+    return app.serve() + app_again.serve()

@@ -1,0 +1,16 @@
+"""Owns module-level mutable state behind an accessor (RL103 owner)."""
+
+CACHE = {}
+HISTORY = []
+
+
+def remember(key, value):
+    """Sanctioned accessor: record ``value`` under ``key``."""
+    CACHE[key] = value
+    HISTORY.append(key)
+
+
+def forget():
+    """Sanctioned accessor: drop everything."""
+    CACHE.clear()
+    HISTORY.clear()

@@ -1,0 +1,6 @@
+"""A clean bottom-layer module with no upward dependencies."""
+
+
+def double(x):
+    """Return twice the input scalar."""
+    return 2 * x

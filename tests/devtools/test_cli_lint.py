@@ -51,7 +51,7 @@ class TestOutput:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rid in ("RL001", "RL007"):
+        for rid in ("RL001", "RL007", "RL100", "RL104"):
             assert rid in out
 
     def test_select_restricts_rules(self, capsys):
@@ -67,6 +67,66 @@ class TestOutput:
         )
         doc = json.loads(capsys.readouterr().out)
         assert doc["count"] == 0
+
+
+class TestSarifAndOutput:
+    def test_sarif_format(self, capsys):
+        main(
+            [
+                "lint", str(FIXTURES / "rl003_bad.py"),
+                "--format", "sarif", "--no-cache",
+            ]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        results = doc["runs"][0]["results"]
+        assert results and all(r["ruleId"] == "RL003" for r in results)
+
+    def test_output_writes_report_file(self, tmp_path, capsys):
+        out = tmp_path / "reports" / "lint.sarif"
+        code = main(
+            [
+                "lint", str(FIXTURES / "rl003_bad.py"),
+                "--format", "sarif", "--output", str(out), "--no-cache",
+            ]
+        )
+        assert code == 0
+        assert f"wrote {out}" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert doc["runs"][0]["results"]
+
+
+class TestRunnerFlags:
+    def test_jobs_output_matches_serial(self, capsys):
+        target = str(FIXTURES / "program")
+        main(["lint", target, "--format", "json", "--no-cache"])
+        serial = capsys.readouterr().out
+        main(
+            ["lint", target, "--format", "json", "--no-cache",
+             "--jobs", "2"]
+        )
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_cache_counters_on_summary_line(self, tmp_path, capsys):
+        target = str(FIXTURES / "rl001_bad.py")
+        cache = str(tmp_path / "cache")
+        main(["lint", target, "--cache-dir", cache])
+        capsys.readouterr()
+        main(["lint", target, "--cache-dir", cache])
+        err = capsys.readouterr().err
+        assert "cache 1 hit(s) / 0 miss(es)" in err
+
+    def test_changed_outside_git_exits_cleanly(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "x.py").write_text("VALUE = 1\n")
+        code = main(
+            ["lint", str(tmp_path / "x.py"), "--changed", "--no-cache"]
+        )
+        assert code == 2
+        assert "git checkout" in capsys.readouterr().err
 
 
 class TestSelfLint:

@@ -31,7 +31,9 @@ def rule_findings(path, rule_id):
 
 class TestRegistry:
     def test_all_builtin_rules_registered(self):
-        assert all_rule_ids() == [f"RL00{i}" for i in range(1, 8)]
+        expected = [f"RL00{i}" for i in range(1, 8)]
+        expected += [f"RL10{i}" for i in range(5)]
+        assert all_rule_ids() == expected
 
     def test_select_and_ignore(self):
         assert [r.rule_id for r in get_rules(select=["rl001"])] == ["RL001"]
@@ -94,3 +96,40 @@ class TestRuleDetails:
     def test_missing_path_raises(self):
         with pytest.raises(FileNotFoundError):
             lint_paths([Path("does/not/exist")])
+
+
+class TestTolerantLoading:
+    """Satellite: odd encodings load; undecodable files become RL000."""
+
+    def test_utf8_bom_is_stripped(self, tmp_path):
+        src = 'import numpy as np\nx = np.random.rand(3)\n__all__ = ["x"]\n'
+        path = tmp_path / "bom.py"
+        path.write_bytes(b"\xef\xbb\xbf" + src.encode("utf-8"))
+        found = lint_paths([path])
+        # The BOM neither crashes the parse nor shifts the findings.
+        assert [f.rule_id for f in found] == ["RL001"]
+        assert found[0].line == 2
+
+    def test_coding_declaration_is_honoured(self, tmp_path):
+        src = (
+            '# -*- coding: latin-1 -*-\n'
+            'LABEL = "caf\xe9"\n'
+            '__all__ = ["LABEL"]\n'
+        )
+        path = tmp_path / "latin.py"
+        path.write_bytes(src.encode("latin-1"))
+        assert lint_paths([path]) == []
+
+    def test_undecodable_bytes_become_rl000(self, tmp_path):
+        path = tmp_path / "binary.py"
+        path.write_bytes(b"x = '\xff\xfe\x00'\n")
+        found = lint_paths([path])
+        assert [f.rule_id for f in found] == ["RL000"]
+        assert found[0].line == 1
+        assert "cannot be decoded" in found[0].message
+
+    def test_unknown_codec_becomes_rl000(self, tmp_path):
+        path = tmp_path / "bogus.py"
+        path.write_bytes(b"# -*- coding: not-a-codec -*-\nx = 1\n")
+        found = lint_paths([path])
+        assert [f.rule_id for f in found] == ["RL000"]

@@ -1,0 +1,182 @@
+"""The two-pass runner: cache accounting, invalidation, --jobs, --changed.
+
+Warm-run speedup is asserted through the cache hit/miss counters, never
+wall-clock, so the tests stay deterministic on loaded CI machines.
+"""
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.reprolint import run_lint
+from repro.devtools.reprolint.cache import (
+    CACHE_SCHEMA,
+    LintCache,
+    analyzer_signature,
+    content_key,
+)
+from repro.devtools.reprolint.runner import changed_files
+
+PROGRAM = Path(__file__).parent / "fixtures" / "program"
+
+#: Source with one deterministic RL001 finding (line 2).
+DIRTY = 'import numpy as np\nx = np.random.rand(3)\n__all__ = ["x"]\n'
+CLEAN = 'VALUE = 7\n__all__ = ["VALUE"]\n'
+
+
+def write_tree(root, files):
+    for name, text in files.items():
+        path = root / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    return root
+
+
+@pytest.fixture
+def tree(tmp_path):
+    return write_tree(
+        tmp_path / "pkg",
+        {"a.py": CLEAN, "b.py": DIRTY, "c.py": CLEAN},
+    )
+
+
+class TestCacheCounters:
+    def test_cold_run_is_all_misses(self, tree, tmp_path):
+        run = run_lint([tree], cache_dir=tmp_path / "cache")
+        assert run.cache_misses == 3
+        assert run.cache_hits == 0
+        assert [f.rule_id for f in run.findings] == ["RL001"]
+
+    def test_warm_run_is_all_hits_with_same_findings(self, tree, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cold = run_lint([tree], cache_dir=cache_dir)
+        warm = run_lint([tree], cache_dir=cache_dir)
+        assert warm.cache_hits == 3
+        assert warm.cache_misses == 0
+        assert warm.findings == cold.findings
+
+    def test_content_change_invalidates_one_file(self, tree, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_lint([tree], cache_dir=cache_dir)
+        (tree / "a.py").write_text(DIRTY)
+        rerun = run_lint([tree], cache_dir=cache_dir)
+        assert rerun.cache_hits == 2
+        assert rerun.cache_misses == 1
+        assert sorted(Path(f.path).name for f in rerun.findings) == [
+            "a.py",
+            "b.py",
+        ]
+
+    def test_no_cache_never_counts(self, tree, tmp_path):
+        run = run_lint([tree], use_cache=False, cache_dir=tmp_path / "cache")
+        assert run.cache_hits == run.cache_misses == 0
+
+    def test_rule_selection_changes_signature(self, tree, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_lint([tree], cache_dir=cache_dir)
+        other = run_lint([tree], select=["RL003"], cache_dir=cache_dir)
+        # A different file-rule set must not replay the old store.
+        assert other.cache_hits == 0
+        assert other.cache_misses == 3
+
+    def test_program_findings_survive_warm_runs(self, tmp_path):
+        """RL1xx findings come from cached summaries, not re-parses."""
+        cache_dir = tmp_path / "cache"
+        cold = run_lint(
+            [PROGRAM], select=["RL103"], cache_dir=cache_dir
+        )
+        warm = run_lint(
+            [PROGRAM], select=["RL103"], cache_dir=cache_dir
+        )
+        assert warm.cache_misses == 0
+        assert warm.cache_hits > 0
+        assert warm.findings == cold.findings
+        assert warm.findings  # the fixture really has RL103 findings
+
+
+class TestCacheStore:
+    def test_signature_covers_rule_ids(self):
+        assert analyzer_signature(("RL001",)) != analyzer_signature(
+            ("RL001", "RL002")
+        )
+
+    def test_content_key_covers_path_and_bytes(self, tmp_path):
+        a = content_key(Path("a.py"), b"x = 1\n")
+        assert a != content_key(Path("b.py"), b"x = 1\n")
+        assert a != content_key(Path("a.py"), b"x = 2\n")
+        assert a == content_key(Path("a.py"), b"x = 1\n")
+
+    def test_corrupt_store_is_ignored(self, tree, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_lint([tree], cache_dir=cache_dir)
+        for store in cache_dir.glob("reprolint-*.json"):
+            store.write_text("{ not json")
+        rerun = run_lint([tree], cache_dir=cache_dir)
+        assert rerun.cache_misses == 3
+
+    def test_schema_mismatch_is_ignored(self, tmp_path):
+        sig = analyzer_signature(("RL001",))
+        cache = LintCache(tmp_path, sig)
+        cache.put("k", [], None)
+        cache.save()
+        store = cache.path
+        text = store.read_text().replace(
+            f'"schema": {CACHE_SCHEMA}', f'"schema": {CACHE_SCHEMA + 1}'
+        )
+        store.write_text(text)
+        reopened = LintCache(tmp_path, sig)
+        assert reopened.get("k") is None
+
+
+class TestParallelRunner:
+    def test_jobs_equivalent_to_serial(self, tmp_path):
+        serial = run_lint([PROGRAM], use_cache=False, jobs=1)
+        parallel = run_lint([PROGRAM], use_cache=False, jobs=2)
+        assert parallel.jobs == 2
+        assert parallel.findings == serial.findings
+        assert parallel.files == serial.files
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            run_lint([PROGRAM], use_cache=False, jobs=-1)
+
+
+class TestChangedScoping:
+    @pytest.fixture
+    def git_tree(self, tmp_path, monkeypatch):
+        root = write_tree(
+            tmp_path / "repo",
+            {"a.py": DIRTY, "b.py": CLEAN},
+        )
+        monkeypatch.chdir(root)
+        subprocess.run(["git", "init", "-q"], check=True)
+        subprocess.run(["git", "add", "-A"], check=True)
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t",
+             "commit", "-q", "-m", "seed"],
+            check=True,
+        )
+        return root
+
+    def test_only_touched_files_reported(self, git_tree):
+        (git_tree / "b.py").write_text(DIRTY)
+        run = run_lint([git_tree], use_cache=False, changed_base="HEAD")
+        # a.py has a finding too, but it is unchanged since HEAD.
+        assert sorted(Path(f.path).name for f in run.findings) == ["b.py"]
+        # Analysis still covered the whole tree.
+        assert run.files == 2
+
+    def test_untracked_files_count_as_changed(self, git_tree):
+        write_tree(git_tree, {"new.py": DIRTY})
+        run = run_lint([git_tree], use_cache=False, changed_base="HEAD")
+        assert sorted(Path(f.path).name for f in run.findings) == ["new.py"]
+
+    def test_clean_diff_reports_nothing(self, git_tree):
+        run = run_lint([git_tree], use_cache=False, changed_base="HEAD")
+        assert run.findings == []
+
+    def test_outside_git_raises_value_error(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(ValueError, match="git checkout"):
+            changed_files("HEAD")

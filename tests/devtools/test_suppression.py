@@ -2,7 +2,12 @@
 
 from pathlib import Path
 
-from repro.devtools.reprolint import get_rules, lint_paths, lint_source
+from repro.devtools.reprolint import (
+    get_rules,
+    lint_paths,
+    lint_source,
+    run_lint,
+)
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
@@ -71,3 +76,78 @@ class TestFileSuppression:
             "x = np.random.rand(3)  # tolerate reprolint findings\n"
         )
         assert [f.rule_id for f in _lint(src, select=["RL001"])] == ["RL001"]
+
+    def test_spaced_mixed_case_rule_list(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.random.rand(3)  # reprolint: disable= rl003 , RL001,rl002\n"
+        )
+        assert _lint(src, select=["RL001", "RL002", "RL003"]) == []
+
+    def test_list_suppresses_only_listed_rules(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.random.rand(3)  # reprolint: disable=RL002,RL003\n"
+        )
+        assert [f.rule_id for f in _lint(src)] == ["RL001"]
+
+
+class TestSuppressionVsSelection:
+    """Satellite: disable-file interacts sanely with --select/--ignore."""
+
+    SRC = (
+        "import numpy as np\n"
+        "# reprolint: disable-file=RL001\n"
+        "x = np.random.rand(3)\n"
+    )
+
+    def test_disable_file_beats_select(self):
+        assert _lint(self.SRC, select=["RL001"]) == []
+
+    def test_select_still_surfaces_other_rules(self):
+        found = _lint(self.SRC, select=["RL001", "RL004"])
+        assert [f.rule_id for f in found] == ["RL004"]
+
+    def test_ignore_composes_with_disable_file(self):
+        rules = get_rules(ignore=["RL004"])
+        found = lint_source(self.SRC, Path("inline.py"), rules)
+        assert found == []
+
+
+class TestProgramRuleSuppression:
+    """Satellite: RL1xx findings honour the same comment syntax."""
+
+    def _tree(self, tmp_path, consumer):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text('"""pkg."""\n')
+        (pkg / "owner.py").write_text(
+            '"""Owns the cache."""\n\nCACHE = {}\n__all__ = ["CACHE"]\n'
+        )
+        (pkg / "consumer.py").write_text(consumer)
+        return pkg
+
+    def test_file_level_disable_covers_program_rule(self, tmp_path):
+        pkg = self._tree(
+            tmp_path,
+            '"""Consumer."""\n'
+            "# reprolint: disable-file=RL103 -- known migration debt\n"
+            "from pkg import owner\n\n\n"
+            "def touch():\n"
+            '    """Mutate across the boundary (suppressed file-wide)."""\n'
+            '    owner.CACHE["k"] = 1\n',
+        )
+        run = run_lint([pkg], select=["RL103"], use_cache=False)
+        assert run.findings == []
+
+    def test_unsuppressed_program_finding_still_fires(self, tmp_path):
+        pkg = self._tree(
+            tmp_path,
+            '"""Consumer."""\n'
+            "from pkg import owner\n\n\n"
+            "def touch():\n"
+            '    """Mutate across the boundary."""\n'
+            '    owner.CACHE["k"] = 1\n',
+        )
+        run = run_lint([pkg], select=["RL103"], use_cache=False)
+        assert [f.rule_id for f in run.findings] == ["RL103"]
