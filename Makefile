@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-cov lint lint-fast lint-sarif bench bench-smoke bench-encode-smoke bench-full stream-smoke report examples clean-cache
+.PHONY: install test test-fast test-cov lint lint-fast lint-sarif bench bench-smoke bench-encode-smoke bench-backend-smoke bench-full stream-smoke report examples clean-cache
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -57,6 +57,15 @@ bench-smoke:
 bench-encode-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --smoke --encode-only \
 		--encode-output benchmarks/results/BENCH_encode.json
+
+# Per-backend microbenchmarks: the solver/encode grids run twice per
+# cell — the exact numpy/float64 arm (which feeds the gated aggregates)
+# plus the numpy/float32 fast arm, whose deviation metrics land in the
+# artifacts' by_backend sections (see docs/backends.md).
+bench-backend-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --smoke --workers 2 \
+		--backend numpy --precision float32 \
+		--output benchmarks/results/BENCH_sweep.json
 
 # 4-patient online streaming run over a 10% lossy link through the
 # multi-session gateway; writes the final telemetry snapshot.

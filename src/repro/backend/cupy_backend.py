@@ -1,0 +1,94 @@
+"""Optional CuPy (CUDA GPU) backend behind lazy import + device detection.
+
+CuPy reimplements the NumPy namespace, so ``xp`` is the ``cupy`` module
+itself and the batched engines run unchanged — the stack solvers'
+GEMM-per-iteration shape is exactly what a GPU wants.  The module never
+imports ``cupy`` at import time: :meth:`CupyBackend.available` probes
+lazily (library importable *and* at least one CUDA device answers), so
+this file is importable — and the backend politely unavailable — on the
+CPU-only machines this repo usually runs on.
+
+Numerics caveat (why this is a *fast* path, never the exact one): GPU
+GEMM accumulation order differs from the host BLAS, so results agree
+with the NumPy backend to rounding, not bit-for-bit.  The differential
+bench cells quantify the deviation per precision.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.backend.base import ArrayBackend, BackendUnavailableError
+from repro.backend.registry import register_backend
+
+__all__ = ["CupyBackend"]
+
+
+def _import_cupy() -> Any:
+    try:
+        import cupy
+    except Exception:  # pragma: no cover - exercised only without cupy
+        return None
+    return cupy
+
+
+@register_backend
+class CupyBackend(ArrayBackend):
+    """CUDA backend over the ``cupy`` namespace (optional dependency)."""
+
+    name = "cupy"
+
+    @classmethod
+    def available(cls) -> bool:
+        cupy = _import_cupy()
+        if cupy is None:
+            return False
+        try:  # pragma: no cover - needs CUDA hardware
+            return int(cupy.cuda.runtime.getDeviceCount()) > 0
+        except Exception:  # pragma: no cover
+            return False
+
+    def __init__(self) -> None:
+        if not self.available():
+            raise BackendUnavailableError(
+                "cupy backend needs the cupy package and a CUDA device"
+            )
+        self._cupy = _import_cupy()  # pragma: no cover - needs CUDA
+
+    # Everything below runs only on CUDA machines; kept small and
+    # obviously NumPy-shaped so the differential suites are the spec.
+    @property
+    def xp(self) -> Any:  # pragma: no cover - needs CUDA
+        return self._cupy
+
+    def asarray(self, values: Any, dtype: Any = None) -> Any:  # pragma: no cover
+        return self._cupy.asarray(values, dtype=dtype)
+
+    def to_numpy(self, arr: Any) -> Any:  # pragma: no cover
+        return self._cupy.asnumpy(arr)
+
+    def cho_factor(self, a: Any) -> Any:  # pragma: no cover
+        # SciPy-free formulation: keep the lower factor from
+        # cupy.linalg.cholesky and tag it for cho_solve.
+        return (self._cupy.linalg.cholesky(a), True)
+
+    def cho_solve(self, factor: Any, b: Any) -> Any:  # pragma: no cover
+        from cupyx.scipy.linalg import solve_triangular
+
+        lower_factor, _ = factor
+        y = solve_triangular(lower_factor, b, lower=True)
+        return solve_triangular(lower_factor.T, y, lower=False)
+
+    def first_order_iir(self, gain: float, decay: float, u: Any) -> Any:  # pragma: no cover
+        from cupyx.scipy import signal as cxs
+
+        u = self._cupy.asarray(u)
+        b = self._cupy.asarray([gain], dtype=u.dtype)
+        a = self._cupy.asarray([1.0, -decay], dtype=u.dtype)
+        return cxs.lfilter(b, a, u)
+
+    def packbits(self, bits: Any) -> Any:  # pragma: no cover
+        return self._cupy.packbits(bits)
+
+    def bincount(self, values: Any, minlength: int = 0) -> Any:  # pragma: no cover
+        return self._cupy.bincount(values, minlength=minlength)

@@ -1,0 +1,107 @@
+"""Backend registry: name → class, instance memo, settings resolution.
+
+Registration happens at import of each backend module (the
+``@register_backend`` decorator), which :mod:`repro.backend`'s package
+``__init__`` triggers for the three built-ins; third parties can call
+:func:`register_backend` on their own subclass before building configs.
+Instances are memoized per process — a backend object is stateless
+apart from its library handles, and sharing one keeps capability
+detection (device queries) a once-per-process cost.
+
+:func:`resolve` is the one call sites use: settings in, a
+:class:`ResolvedBackend` bundle (backend, namespace, dtype, settings)
+out, with ``None`` meaning the exact NumPy/float64 default.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, NamedTuple, Optional, Tuple, Type
+
+from repro.backend.base import ArrayBackend, BackendUnavailableError
+from repro.backend.settings import BackendSettings
+
+__all__ = [
+    "ResolvedBackend",
+    "register_backend",
+    "backend_names",
+    "available_backends",
+    "get_backend",
+    "resolve",
+]
+
+_REGISTRY: Dict[str, Type[ArrayBackend]] = {}
+_INSTANCES: Dict[str, ArrayBackend] = {}
+
+
+class ResolvedBackend(NamedTuple):
+    """Everything an engine needs from one settings resolution."""
+
+    backend: ArrayBackend
+    xp: Any
+    dtype: Any
+    settings: BackendSettings
+
+
+def register_backend(cls: Type[ArrayBackend]) -> Type[ArrayBackend]:
+    """Class decorator adding a backend class under ``cls.name``.
+
+    Re-registering a name replaces the class and drops any memoized
+    instance (test fixtures swap stub backends in and out this way).
+    """
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must set a non-empty name")
+    _REGISTRY[cls.name] = cls
+    _INSTANCES.pop(cls.name, None)
+    return cls
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Every registered backend name, sorted (available or not)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backends whose capability detection passes, sorted."""
+    return tuple(n for n in backend_names() if _REGISTRY[n].available())
+
+
+def get_backend(name: str = "numpy") -> ArrayBackend:
+    """The (memoized) backend instance for a registered name.
+
+    Raises ``ValueError`` for an unregistered name and
+    :class:`~repro.backend.base.BackendUnavailableError` when the
+    library/device behind a registered name is absent — callers can tell
+    a typo from a missing optional dependency.
+    """
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown backend {name!r}; registered: {', '.join(backend_names())}"
+        )
+    inst = _INSTANCES.get(name)
+    if inst is None:
+        if not cls.available():
+            raise BackendUnavailableError(
+                f"backend {name!r} is registered but not available here "
+                "(library not installed or no capable device)"
+            )
+        inst = cls()
+        _INSTANCES[name] = inst
+    return inst
+
+
+def resolve(settings: Optional[BackendSettings] = None) -> ResolvedBackend:
+    """Resolve settings (``None`` = exact default) to a usable backend.
+
+    Returns the ``(backend, xp, dtype, settings)`` bundle the engines
+    destructure at their entry points.
+    """
+    if settings is None:
+        settings = BackendSettings()
+    backend = get_backend(settings.name)
+    return ResolvedBackend(
+        backend=backend,
+        xp=backend.xp,
+        dtype=backend.dtype(settings.precision),
+        settings=settings,
+    )

@@ -34,6 +34,45 @@ from typing import Optional, Sequence
 __all__ = ["build_parser", "main"]
 
 
+def _add_backend_options(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--backend`` / ``--precision`` knobs.
+
+    Selects the array backend + precision carried on
+    ``FrontEndConfig.backend`` (see ``docs/backends.md``).  The default
+    (numpy/float64) is the exact path; ``repro bench`` benches any
+    non-default selection *alongside* the exact arm rather than instead
+    of it, so the artifacts always contain the gated reference cells.
+    """
+    from repro.backend import PRECISIONS, backend_names
+
+    parser.add_argument(
+        "--backend", default="numpy", choices=backend_names(),
+        help="array backend for the batched engines (default: numpy)",
+    )
+    parser.add_argument(
+        "--precision", default="float64", choices=list(PRECISIONS),
+        help="engine dtype policy (default: float64, the exact path)",
+    )
+
+
+def _backend_settings(args: argparse.Namespace):
+    """The ``BackendSettings`` an argparse namespace selects (validated)."""
+    from repro.backend import (
+        BackendSettings,
+        BackendUnavailableError,
+        get_backend,
+    )
+
+    settings = BackendSettings(name=args.backend, precision=args.precision)
+    try:
+        get_backend(settings.name)  # fail fast if the backend is unavailable
+    except BackendUnavailableError as exc:
+        # Surface as the CLI's clean `error:` path (it is user input, not
+        # a bug), keeping the distinct type for library callers.
+        raise ValueError(str(exc)) from exc
+    return settings
+
+
 def _add_workers_option(parser: argparse.ArgumentParser, default: int = 1) -> None:
     """The one shared ``--workers`` knob (resolved by executor_from_workers).
 
@@ -95,6 +134,7 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         n_measurements=args.measurements,
         lowres_bits=args.lowres_bits,
         solver=PdhgSettings(max_iter=args.max_iter),
+        backend=_backend_settings(args),
     )
     outcome = run_record(
         record,
@@ -212,6 +252,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     workers = resolve_worker_count(args.workers)
     methods = ("hybrid", "normal")
 
+    # Microbench backend arms: always the exact reference, plus the
+    # selected backend/precision when it differs.
+    from repro.backend import BackendSettings
+
+    bench_backends = [BackendSettings()]
+    selected = _backend_settings(args)
+    if selected != bench_backends[0]:
+        bench_backends.append(selected)
+
     config = FrontEndConfig(
         window_len=args.window,
         lowres_bits=args.lowres_bits,
@@ -219,7 +268,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
 
     if args.encode_only:
-        _write_encode_bench(args, config, crs, records[0])
+        _write_encode_bench(args, config, crs, records[0], bench_backends)
         return 0
 
     scale = ExperimentScale(
@@ -362,10 +411,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         record_name=records[0],
         n_windows=4 if args.smoke else 12,
         duration_s=args.duration,
+        backends=bench_backends,
     )
     for c in cells:
         print(
-            f"solver {c.solver:<6} CR {c.cr_percent:5.1f}%: "
+            f"solver {c.solver:<6} CR {c.cr_percent:5.1f}% "
+            f"[{c.backend_label}]: "
             f"loop {c.loop_windows_per_sec:6.1f} w/s | "
             f"batched {c.batched_windows_per_sec:6.1f} w/s | "
             f"speedup {c.speedup:5.2f}x | "
@@ -381,14 +432,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     # Encoder microbenchmark: the batched encode engine + vectorized
     # synthesis kernels against their scalar reference loops.
-    _write_encode_bench(args, config, crs, records[0])
+    _write_encode_bench(args, config, crs, records[0], bench_backends)
     return 0
 
 
-def _write_encode_bench(args, config, crs, record_name) -> None:
+def _write_encode_bench(args, config, crs, record_name, backends=None) -> None:
     """Run the encoder/synthesis microbenchmark and write BENCH_encode.json."""
     import json
 
+    from repro.backend import BackendSettings
     from repro.experiments.encode_bench import (
         encode_bench_payload,
         run_encode_bench,
@@ -401,10 +453,12 @@ def _write_encode_bench(args, config, crs, record_name) -> None:
         record_name=record_name,
         n_windows=16 if args.smoke else 32,
         duration_s=args.duration,
+        backends=backends or (BackendSettings(),),
     )
     for c in encode_cells:
         print(
-            f"encode {c.method:<6} CR {c.cr_percent:5.1f}%: "
+            f"encode {c.method:<6} CR {c.cr_percent:5.1f}% "
+            f"[{c.backend_label}]: "
             f"loop {c.loop_windows_per_sec:7.1f} w/s | "
             f"batched {c.batched_windows_per_sec:7.1f} w/s | "
             f"speedup {c.speedup:5.2f}x | "
@@ -441,6 +495,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         n_measurements=args.measurements,
         lowres_bits=args.lowres_bits,
         solver=PdhgSettings(max_iter=args.max_iter),
+        backend=_backend_settings(args),
     )
     scenario = StreamScenario(
         patients=args.patients,
@@ -571,6 +626,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-windows", type=int, default=4)
     p.add_argument("--max-iter", type=int, default=3000)
     _add_workers_option(p, default=1)
+    _add_backend_options(p)
     p.set_defaults(func=_cmd_compress)
 
     p = sub.add_parser(
@@ -603,6 +659,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--encode-only", action="store_true",
                    help="run only the encoder/synthesis microbenchmark "
                         "(the `make bench-encode-smoke` configuration)")
+    _add_backend_options(p)
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
@@ -634,6 +691,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--poll-every", type=int, default=8,
                    help="gateway poll cadence, in playback chunks")
     _add_workers_option(p, default=1)
+    _add_backend_options(p)
     p.add_argument("--output", "-o",
                    help="also write the final gateway snapshot as JSON")
     p.set_defaults(func=_cmd_stream)

@@ -10,6 +10,7 @@ makes the end-to-end pipeline bit-faithful.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from repro.backend import BackendSettings
 from repro.core.encode_batch import EncodeEngineSettings
 from repro.metrics.compression import ORIGINAL_RESOLUTION_BITS, cs_channel_cr
 from repro.recovery.opcache import RecoveryEngineSettings
@@ -58,6 +59,13 @@ class FrontEndConfig:
         through the batched encode engine (bit-identical to the scalar
         path; see ``docs/encoding.md``) and its quantizer boundary
         guard.  Like ``recovery``, an efficiency knob only.
+    backend:
+        Array backend + precision the batched engines execute on (see
+        ``docs/backends.md``).  The default (NumPy/float64) is the exact
+        path; anything else is a fast path whose deviation from the
+        exact outputs is measured, not assumed — unlike ``recovery`` /
+        ``encode`` this knob *can* change transmitted bytes and
+        recovered samples within the documented differential bounds.
     """
 
     window_len: int = 512
@@ -73,6 +81,7 @@ class FrontEndConfig:
         default_factory=RecoveryEngineSettings
     )
     encode: EncodeEngineSettings = field(default_factory=EncodeEngineSettings)
+    backend: BackendSettings = field(default_factory=BackendSettings)
 
     def __post_init__(self) -> None:
         if self.window_len <= 0:
@@ -112,6 +121,14 @@ class FrontEndConfig:
     def with_lowres_bits(self, bits: int) -> "FrontEndConfig":
         """Same config at a different low-res resolution (ablations)."""
         return replace(self, lowres_bits=bits)
+
+    def with_backend(
+        self, name: str, precision: str = "float64"
+    ) -> "FrontEndConfig":
+        """Same config on a different backend/precision (bench comparisons)."""
+        return replace(
+            self, backend=BackendSettings(name=name, precision=precision)
+        )
 
     def for_cr(self, cr_percent: float) -> "FrontEndConfig":
         """Config whose measurement count realises the given CS-channel CR."""

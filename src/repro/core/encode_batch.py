@@ -19,15 +19,28 @@ edge (guard ≫ the ~1e-12 GEMM/GEMV deviation, ≪ any honest cell
 clearance) and recomputes exactly those rows with the scalar GEMV before
 quantizing, making the batched codes deterministically equal to the
 scalar ones.
+
+**Backend seam:** the GEMM consumes :mod:`repro.backend` instead of
+numpy directly.  On a fast path (float32 or a non-NumPy backend) only
+the bulk GEMM runs in the selected backend/precision; the quantizer
+scaling and the boundary-guard detection *always* run in float64 on the
+host, and every near-edge row is recomputed with the exact float64
+GEMV.  So a fast-path code can differ from the exact path only where
+GEMM precision honestly moves a measurement across a quantizer cell —
+never from guard logic running at reduced precision — and the encode
+bench reports exactly how often that happens (byte-identity fraction
+and max code delta per cell).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-import numpy as np
-
+from repro.backend import BackendSettings, HOST, ndarray, resolve
 from repro.sensing.quantizers import UniformQuantizer
+
+__backend_seam__ = True
 
 __all__ = ["EncodeEngineSettings", "measure_window_stack"]
 
@@ -61,26 +74,40 @@ class EncodeEngineSettings:
 
 
 def measure_window_stack(
-    phi: np.ndarray,
+    phi: ndarray,
     quantizer: UniformQuantizer,
-    centered: np.ndarray,
+    centered: ndarray,
     boundary_guard: float = EncodeEngineSettings.boundary_guard,
-) -> np.ndarray:
+    *,
+    settings: Optional[BackendSettings] = None,
+) -> ndarray:
     """Measurement codes for a stack of centered windows; shape ``(w, m)``.
 
     One GEMM for the stack, then the boundary guard described in the
     module docstring: rows with any scaled measurement within
     ``boundary_guard`` of a quantizer cell edge are recomputed with the
-    per-window GEMV so every code equals the scalar path's bit for bit.
-    ``centered`` must be C-contiguous float64 — each guarded row is then
-    the exact array the scalar path sees.
+    per-window float64 GEMV.  ``centered`` must be C-contiguous float64 —
+    each guarded row is then the exact array the scalar path sees.  With
+    default/exact ``settings`` every code equals the scalar path's bit
+    for bit; on a fast path only the bulk GEMM runs in the selected
+    backend/precision while guard detection and recomputation stay
+    float64 (host), as does the quantizer.
     """
-    centered = np.ascontiguousarray(centered, dtype=float)
+    host = HOST.xp
+    centered = host.ascontiguousarray(centered, dtype=host.float64)
     if centered.ndim != 2:
         raise ValueError("expected a (windows, n) stack of centered windows")
-    y = centered @ phi.T
+    backend, _, dtype, settings = resolve(settings)
+    if settings.is_exact:
+        y = centered @ phi.T
+    else:
+        phi_dev = backend.asarray(phi, dtype=dtype)
+        centered_dev = backend.asarray(centered, dtype=dtype)
+        y = host.asarray(
+            backend.to_numpy(centered_dev @ phi_dev.T), dtype=host.float64
+        )
     scaled = (y + quantizer.full_scale) / quantizer.step
-    near_edge = np.abs(scaled - np.rint(scaled)) < boundary_guard
-    for row in np.flatnonzero(near_edge.any(axis=1)):
+    near_edge = host.abs(scaled - host.rint(scaled)) < boundary_guard
+    for row in host.flatnonzero(near_edge.any(axis=1)):
         y[row] = phi @ centered[row]
     return quantizer.quantize(y)

@@ -95,6 +95,7 @@ class LayerConfig:
 REPRO_LAYERS = LayerConfig(
     [
         ("devtools", ["repro.devtools"]),
+        ("backend", ["repro.backend"]),
         (
             "foundation",
             [

@@ -143,6 +143,30 @@ def bench_sweep_section(results_dir: Path) -> str:
     return "\n".join(lines)
 
 
+def _backend_comparison_lines(by_backend, describe) -> list:
+    """Markdown bullets comparing backend arms, [] when only one ran.
+
+    ``describe(group)`` renders the arm's deviation metric — PRD for the
+    solver artifact, byte identity for the encode artifact.
+    """
+    if not by_backend or len(by_backend) < 2:
+        return []
+    lines = ["", "### Backend comparison", ""]
+    for label in sorted(by_backend):
+        group = by_backend[label]
+        min_speedup = group.get("min_speedup")
+        speedup_txt = (
+            f"min speedup {min_speedup:.2f}x"
+            if min_speedup is not None
+            else "min speedup n/a"
+        )
+        lines.append(
+            f"- `{label}` ({group.get('cells')} cells): {speedup_txt}, "
+            f"{describe(group)}"
+        )
+    return lines
+
+
 def bench_solvers_section(results_dir: Path) -> str:
     """Markdown for the solver-microbenchmark artifact, or "" when absent.
 
@@ -161,15 +185,20 @@ def bench_solvers_section(results_dir: Path) -> str:
     lines = [
         "## Solver engines (`repro bench`)",
         "",
-        "| solver | CR % | loop w/s | batched w/s | speedup | max PRD dev % |",
-        "|---|---|---|---|---|---|",
+        "| solver | CR % | backend | loop w/s | batched w/s | speedup | max PRD dev % |",
+        "|---|---|---|---|---|---|---|",
     ]
     for cell in data.get("cells", []):
         loop = cell.get("loop", {})
         batched = cell.get("batched", {})
+        label = (
+            f"{cell.get('backend', 'numpy')}/"
+            f"{cell.get('precision', 'float64')}"
+        )
         lines.append(
             f"| {cell.get('solver')} "
             f"| {cell.get('cr_percent', 0):.1f} "
+            f"| {label} "
             f"| {loop.get('windows_per_sec', 0):.1f} "
             f"| {batched.get('windows_per_sec', 0):.1f} "
             f"| {cell.get('speedup', 0):.2f}x "
@@ -179,9 +208,13 @@ def bench_solvers_section(results_dir: Path) -> str:
     if min_speedup is not None:
         lines += [
             "",
-            f"- minimum speedup (batched+cached over per-window loop): "
-            f"{min_speedup:.2f}x",
+            f"- minimum exact-path speedup (batched+cached over "
+            f"per-window loop): {min_speedup:.2f}x",
         ]
+    lines += _backend_comparison_lines(
+        data.get("by_backend"),
+        lambda group: f"max PRD dev {group.get('max_prd_dev_percent', 0):.2e}%",
+    )
     cache = data.get("problem_cache")
     if cache:
         lines.append(
@@ -212,15 +245,20 @@ def bench_encode_section(results_dir: Path) -> str:
     lines = [
         "## Encode engine (`repro bench`)",
         "",
-        "| method | CR % | loop w/s | batched w/s | speedup | bytes identical |",
-        "|---|---|---|---|---|---|",
+        "| method | CR % | backend | loop w/s | batched w/s | speedup | bytes identical |",
+        "|---|---|---|---|---|---|---|",
     ]
     for cell in data.get("cells", []):
         loop = cell.get("loop", {})
         batched = cell.get("batched", {})
+        label = (
+            f"{cell.get('backend', 'numpy')}/"
+            f"{cell.get('precision', 'float64')}"
+        )
         lines.append(
             f"| {cell.get('method')} "
             f"| {cell.get('cr_percent', 0):.1f} "
+            f"| {label} "
             f"| {loop.get('windows_per_sec', 0):.1f} "
             f"| {batched.get('windows_per_sec', 0):.1f} "
             f"| {cell.get('speedup', 0):.2f}x "
@@ -234,6 +272,14 @@ def bench_encode_section(results_dir: Path) -> str:
             f"loop): {min_speedup:.2f}x "
             f"(all bytes identical: {data.get('all_bytes_identical')})",
         ]
+    lines += _backend_comparison_lines(
+        data.get("by_backend"),
+        lambda group: (
+            f"byte-identical fraction "
+            f"{group.get('min_identical_fraction', 1.0):.3f}, "
+            f"max code delta {group.get('max_code_delta', 0)}"
+        ),
+    )
     synth = data.get("synth") or {}
     synth_cells = synth.get("cells", [])
     if synth_cells:

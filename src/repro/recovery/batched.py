@@ -14,8 +14,8 @@ iteration-for-iteration:
 * :func:`solve_fista_batch` — the LASSO path of
   :func:`repro.recovery.fista.solve_fista`;
 * :func:`solve_bpdn_admm_batch` — the BPDN path of
-  :func:`repro.recovery.admm.solve_bpdn_admm`, through the problem's
-  cached ``I + A^T A`` factorization.
+  :func:`repro.recovery.admm.solve_bpdn_admm`, through the cached
+  ``I + A^T A`` factorization.
 
 **Convergence masking:** each column tracks the scalar solver's own
 stopping rule; a converged column is frozen at its current iterate and
@@ -32,19 +32,31 @@ chunk ``c`` — the most recent temporally-adjacent solution available
 without serializing the batch.  :func:`recover_windows_loop` implements
 the identical schedule window-by-window, which is both the benchmark
 baseline and the differential-test reference.
+
+**Backend seam:** the engines consume :mod:`repro.backend` (the ``xp``
+namespace protocol) instead of numpy directly; every solver takes an
+optional :class:`~repro.backend.BackendSettings`.  ``None`` or
+NumPy/float64 is the exact path — ``xp`` *is* the numpy module there,
+so results stay bit-identical to the pre-seam code — while float32 (or
+a GPU backend) is the fast path, with its operator stack and ADMM
+factorization pulled per ``(backend, precision)`` from
+:func:`repro.recovery.opcache.operators_for`.  Results always return as
+host float64 :class:`~repro.recovery.result.RecoveryResult` objects, so
+warm-start carries and downstream metrics are backend-agnostic.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
-import numpy as np
-
+from repro.backend import BackendSettings, HOST, ndarray, resolve
 from repro.recovery.admm import solve_bpdn_admm
 from repro.recovery.fista import solve_fista
+from repro.recovery.opcache import OperatorSet, operators_for
 from repro.recovery.problem import CsProblem
-from repro.recovery.prox import soft_threshold
 from repro.recovery.result import RecoveryResult
+
+__backend_seam__ = True
 
 __all__ = [
     "stack_measurements",
@@ -56,35 +68,60 @@ __all__ = [
 ]
 
 
-def stack_measurements(problem: CsProblem, ys: Sequence[np.ndarray]) -> np.ndarray:
-    """Validate and stack window measurements as columns, shape ``(m, k)``."""
+def stack_measurements(
+    problem: CsProblem,
+    ys: Sequence[ndarray],
+    *,
+    settings: Optional[BackendSettings] = None,
+) -> Any:
+    """Validate and stack window measurements as columns, shape ``(m, k)``.
+
+    The stack lives on the settings' backend in the settings' dtype (the
+    engine dtype policy — float64 on the default exact path).
+    """
     if len(ys) == 0:
         raise ValueError("need at least one measurement vector")
+    _, xp, dtype, _ = resolve(settings)
     cols = []
     for j, y in enumerate(ys):
-        arr = np.asarray(y, dtype=float)
+        arr = xp.asarray(y, dtype=dtype)
         if arr.shape != (problem.m,):
             raise ValueError(
                 f"window {j}: expected {problem.m} measurements, got shape {arr.shape}"
             )
         cols.append(arr)
-    return np.stack(cols, axis=1)
+    return xp.stack(cols, axis=1)
+
+
+def _soft_threshold(xp: Any, v: Any, threshold: float) -> Any:
+    """``sign(v) * max(|v| - threshold, 0)`` in ``v``'s own dtype.
+
+    The namespace twin of :func:`repro.recovery.prox.soft_threshold`:
+    identical arithmetic (hence bit-identical for float64 input), minus
+    the host-coercing ``asarray(dtype=float)`` so a float32 stack stays
+    float32.
+    """
+    return xp.sign(v) * xp.maximum(xp.abs(v) - threshold, 0.0)
 
 
 def _stack_alpha0(
-    problem: CsProblem, alpha0: Optional[np.ndarray], k: int
-) -> np.ndarray:
-    """Initial coefficient stack, shape ``(n, k)``.
+    problem: CsProblem,
+    alpha0: Optional[ndarray],
+    k: int,
+    xp: Any,
+    dtype: Any,
+) -> Any:
+    """Initial coefficient stack, shape ``(n, k)``, in the engine dtype.
 
     ``alpha0`` may be ``None`` (cold start at zero), one ``(n,)`` vector
     (broadcast to every column — the chunk warm-start shape) or a full
     ``(n, k)`` stack.
     """
     if alpha0 is None:
-        return np.zeros((problem.n, k))
-    arr = np.asarray(alpha0, dtype=float)
+        return xp.zeros((problem.n, k), dtype=dtype)
+    arr = xp.asarray(alpha0, dtype=dtype)
     if arr.shape == (problem.n,):
-        return np.repeat(arr[:, None], k, axis=1)
+        return xp.repeat(arr[:, None], k, axis=1)
     if arr.shape == (problem.n, k):
         return arr.copy()
     raise ValueError(
@@ -93,19 +130,34 @@ def _stack_alpha0(
 
 
 def _finalize(
-    problem: CsProblem,
-    alphas: np.ndarray,
-    ys: np.ndarray,
-    iterations: np.ndarray,
-    converged: np.ndarray,
+    ops: OperatorSet,
+    alphas: Any,
+    ys: Any,
+    iterations: Any,
+    converged: Any,
     solver: str,
     info: dict,
 ) -> List[RecoveryResult]:
-    """Per-window :class:`RecoveryResult` objects from the solved stack."""
-    residuals = np.linalg.norm(problem.a @ alphas - ys, axis=0)
+    """Per-window :class:`RecoveryResult` objects from the solved stack.
+
+    The device→host boundary: whatever backend/dtype solved the stack,
+    results come back as float64 numpy arrays (coefficients, synthesized
+    windows, norms), so callers never see backend types.
+    """
+    problem = ops.problem
+    xp = ops.backend.xp
+    host = HOST.xp
+    residuals = ops.backend.to_numpy(
+        xp.linalg.norm(ops.a @ alphas - ys, axis=0)
+    )
+    alphas_host = host.asarray(
+        ops.backend.to_numpy(alphas), dtype=host.float64
+    )
+    iterations = ops.backend.to_numpy(iterations)
+    converged = ops.backend.to_numpy(converged)
     results = []
-    for j in range(alphas.shape[1]):
-        alpha = alphas[:, j].copy()
+    for j in range(alphas_host.shape[1]):
+        alpha = alphas_host[:, j].copy()
         results.append(
             RecoveryResult(
                 alpha=alpha,
@@ -113,7 +165,7 @@ def _finalize(
                 iterations=int(iterations[j]),
                 converged=bool(converged[j]),
                 residual_norm=float(residuals[j]),
-                objective=float(np.sum(np.abs(alpha))),
+                objective=float(host.sum(host.abs(alpha))),
                 solver=solver,
                 info=dict(info),
             )
@@ -123,12 +175,13 @@ def _finalize(
 
 def solve_fista_batch(
     problem: CsProblem,
-    ys: Sequence[np.ndarray],
+    ys: Sequence[ndarray],
     lam: float,
     *,
     max_iter: int = 2000,
     tol: float = 1e-6,
-    alpha0: Optional[np.ndarray] = None,
+    alpha0: Optional[ndarray] = None,
+    settings: Optional[BackendSettings] = None,
 ) -> List[RecoveryResult]:
     """Vectorized :func:`~repro.recovery.fista.solve_fista` over a stack.
 
@@ -139,34 +192,36 @@ def solve_fista_batch(
     """
     if lam <= 0:
         raise ValueError("lam must be positive")
-    y_stack = stack_measurements(problem, ys)
+    _, xp, dtype, settings = resolve(settings)
+    y_stack = stack_measurements(problem, ys, settings=settings)
     k = y_stack.shape[1]
-    a = problem.a
-    step = 1.0 / problem.opnorm_sq()
+    ops = operators_for(problem, settings)
+    a = ops.a
+    step = 1.0 / ops.opnorm_sq()
 
-    alpha = _stack_alpha0(problem, alpha0, k)
+    alpha = _stack_alpha0(problem, alpha0, k, xp, dtype)
     momentum = alpha.copy()
     t_k = 1.0
 
     # Per-window bookkeeping; frozen columns are compacted out of the
     # active stack so converged windows stop paying for stragglers.
-    final = np.empty_like(alpha)
-    iterations = np.full(k, 0, dtype=int)
-    converged = np.zeros(k, dtype=bool)
-    active = np.arange(k)
+    final = xp.empty_like(alpha)
+    iterations = xp.zeros(k, dtype=xp.int64)
+    converged = xp.zeros(k, dtype=xp.bool_)
+    active = xp.arange(k)
 
     for it in range(1, max_iter + 1):
         grad = a.T @ (a @ momentum - y_stack[:, active])
-        alpha_new = soft_threshold(momentum - step * grad, step * lam)
-        t_next = (1.0 + np.sqrt(1.0 + 4.0 * t_k**2)) / 2.0
+        alpha_new = _soft_threshold(xp, momentum - step * grad, step * lam)
+        t_next = (1.0 + xp.sqrt(1.0 + 4.0 * t_k**2)) / 2.0
         momentum = alpha_new + ((t_k - 1.0) / t_next) * (alpha_new - alpha)
-        change = np.linalg.norm(alpha_new - alpha, axis=0)
-        scale = np.maximum(np.linalg.norm(alpha_new, axis=0), 1.0)
+        change = xp.linalg.norm(alpha_new - alpha, axis=0)
+        scale = xp.maximum(xp.linalg.norm(alpha_new, axis=0), 1.0)
         alpha = alpha_new
         t_k = t_next
 
         done = change <= tol * scale
-        if np.any(done):
+        if xp.any(done):
             cols = active[done]
             final[:, cols] = alpha[:, done]
             iterations[cols] = it
@@ -182,15 +237,20 @@ def solve_fista_batch(
         final[:, active] = alpha
         iterations[active] = max_iter
 
-    info = {"lam": float(lam), "step": float(step), "batch": float(k)}
+    info = {
+        "lam": float(lam),
+        "step": float(step),
+        "batch": float(k),
+        "backend": settings.label,
+    }
     return _finalize(
-        problem, final, y_stack, iterations, converged, "fista-lasso-batch", info
+        ops, final, y_stack, iterations, converged, "fista-lasso-batch", info
     )
 
 
 def _project_l2_ball_columns(
-    v: np.ndarray, centers: np.ndarray, radius: float
-) -> np.ndarray:
+    xp: Any, v: Any, centers: Any, radius: float
+) -> Any:
     """Column-wise Euclidean projection onto ``||z - center_j|| <= radius``.
 
     The vectorized twin of :func:`repro.recovery.prox.project_l2_ball`,
@@ -198,10 +258,10 @@ def _project_l2_ball_columns(
     branch, so each column matches the scalar projection bit-for-bit.
     """
     diff = v - centers
-    norms = np.linalg.norm(diff, axis=0)
+    norms = xp.linalg.norm(diff, axis=0)
     out = v.copy()
     shrink = (norms > radius) & (norms > 0.0)
-    if np.any(shrink):
+    if xp.any(shrink):
         out[:, shrink] = centers[:, shrink] + diff[:, shrink] * (
             radius / norms[shrink]
         )
@@ -210,66 +270,67 @@ def _project_l2_ball_columns(
 
 def solve_bpdn_admm_batch(
     problem: CsProblem,
-    ys: Sequence[np.ndarray],
+    ys: Sequence[ndarray],
     sigma: float,
     *,
     rho: float = 1.0,
     max_iter: int = 3000,
     tol: float = 1e-5,
-    alpha0: Optional[np.ndarray] = None,
+    alpha0: Optional[ndarray] = None,
+    settings: Optional[BackendSettings] = None,
 ) -> List[RecoveryResult]:
     """Vectorized :func:`~repro.recovery.admm.solve_bpdn_admm` over a stack.
 
-    The ``alpha``-step solves against the problem's *cached* Cholesky
-    factor of ``I + A^T A`` with a multi-column right-hand side, so the
-    whole stack costs one factorization ever (per process) and two
+    The ``alpha``-step solves against the *cached* Cholesky factor of
+    ``I + A^T A`` — held per ``(backend, precision)`` by the operator
+    cache — with a multi-column right-hand side, so the whole stack
+    costs one factorization ever (per process and precision) and two
     triangular GEMM solves per iteration.
     """
-    from scipy.linalg import cho_solve
-
     if sigma < 0:
         raise ValueError("sigma cannot be negative")
     if rho <= 0:
         raise ValueError("rho must be positive")
-    y_stack = stack_measurements(problem, ys)
+    _, xp, dtype, settings = resolve(settings)
+    y_stack = stack_measurements(problem, ys, settings=settings)
     k = y_stack.shape[1]
-    a = problem.a
-    chol = problem.admm_factor()
+    ops = operators_for(problem, settings)
+    a = ops.a
 
-    alpha = _stack_alpha0(problem, alpha0, k)
+    alpha = _stack_alpha0(problem, alpha0, k, xp, dtype)
     w = alpha.copy()
     z = y_stack.copy()
-    u_w = np.zeros_like(alpha)
-    u_z = np.zeros_like(y_stack)
+    u_w = xp.zeros_like(alpha)
+    u_z = xp.zeros_like(y_stack)
 
-    final = np.empty_like(alpha)
-    iterations = np.full(k, 0, dtype=int)
-    converged = np.zeros(k, dtype=bool)
-    active = np.arange(k)
+    final = xp.empty_like(alpha)
+    iterations = xp.zeros(k, dtype=xp.int64)
+    converged = xp.zeros(k, dtype=xp.bool_)
+    active = xp.arange(k)
 
     for it in range(1, max_iter + 1):
         y_act = y_stack[:, active]
         rhs = (w - u_w) + a.T @ (z - u_z)
-        alpha = cho_solve(chol, rhs)
+        alpha = ops.cho_solve(rhs)
         a_alpha = a @ alpha
-        w_new = soft_threshold(alpha + u_w, 1.0 / rho)
-        z_new = _project_l2_ball_columns(a_alpha + u_z, y_act, sigma)
+        w_new = _soft_threshold(xp, alpha + u_w, 1.0 / rho)
+        z_new = _project_l2_ball_columns(xp, a_alpha + u_z, y_act, sigma)
         u_w += alpha - w_new
         u_z += a_alpha - z_new
 
-        primal = np.sqrt(
-            np.linalg.norm(alpha - w_new, axis=0) ** 2
-            + np.linalg.norm(a_alpha - z_new, axis=0) ** 2
+        primal = xp.sqrt(
+            xp.linalg.norm(alpha - w_new, axis=0) ** 2
+            + xp.linalg.norm(a_alpha - z_new, axis=0) ** 2
         )
-        dual = rho * np.sqrt(
-            np.linalg.norm(w_new - w, axis=0) ** 2
-            + np.linalg.norm(a.T @ (z_new - z), axis=0) ** 2
+        dual = rho * xp.sqrt(
+            xp.linalg.norm(w_new - w, axis=0) ** 2
+            + xp.linalg.norm(a.T @ (z_new - z), axis=0) ** 2
         )
         w, z = w_new, z_new
-        scale = np.maximum(np.linalg.norm(w, axis=0), 1.0)
+        scale = xp.maximum(xp.linalg.norm(w, axis=0), 1.0)
 
         done = (primal <= tol * scale) & (dual <= tol * scale)
-        if np.any(done):
+        if xp.any(done):
             cols = active[done]
             final[:, cols] = w[:, done]
             iterations[cols] = it
@@ -287,22 +348,23 @@ def solve_bpdn_admm_batch(
         final[:, active] = w
         iterations[active] = max_iter
 
-    info = {"rho": float(rho), "batch": float(k)}
+    info = {"rho": float(rho), "batch": float(k), "backend": settings.label}
     return _finalize(
-        problem, final, y_stack, iterations, converged, "admm-bpdn-batch", info
+        ops, final, y_stack, iterations, converged, "admm-bpdn-batch", info
     )
 
 
 def solve_batch(
     problem: CsProblem,
-    ys: Sequence[np.ndarray],
+    ys: Sequence[ndarray],
     *,
     method: str = "admm",
     sigma: Optional[float] = None,
     lam: Optional[float] = None,
-    alpha0: Optional[np.ndarray] = None,
+    alpha0: Optional[ndarray] = None,
     max_iter: Optional[int] = None,
     tol: Optional[float] = None,
+    settings: Optional[BackendSettings] = None,
 ) -> List[RecoveryResult]:
     """One batched solve over a window stack, dispatching on ``method``.
 
@@ -310,7 +372,7 @@ def solve_batch(
     solves the LASSO (needs ``lam``).  Unset iteration controls fall back
     to each solver's own defaults.
     """
-    kwargs: dict = {}
+    kwargs: dict = {"settings": settings}
     if max_iter is not None:
         kwargs["max_iter"] = max_iter
     if tol is not None:
@@ -333,7 +395,7 @@ def _chunks(count: int, size: int):
 
 def recover_windows(
     problem: CsProblem,
-    ys: Sequence[np.ndarray],
+    ys: Sequence[ndarray],
     *,
     method: str = "admm",
     sigma: Optional[float] = None,
@@ -342,6 +404,7 @@ def recover_windows(
     warm_start: bool = True,
     max_iter: Optional[int] = None,
     tol: Optional[float] = None,
+    settings: Optional[BackendSettings] = None,
 ) -> List[RecoveryResult]:
     """Solve a record's window sequence through the batched engine.
 
@@ -350,12 +413,14 @@ def recover_windows(
     solution of the *last window of the previous stack* (the newest
     solution that temporally precedes the whole stack).  The schedule is
     a pure function of the window sequence, so results are deterministic
-    regardless of hardware or timing.
+    regardless of hardware or timing.  Warm-start carries are host
+    float64 regardless of ``settings``; each chunk re-casts them to the
+    engine dtype.
     """
     if batch_size < 1:
         raise ValueError("batch_size must be positive")
     results: List[RecoveryResult] = []
-    carry: Optional[np.ndarray] = None
+    carry: Optional[ndarray] = None
     for chunk in _chunks(len(ys), batch_size):
         batch = [ys[j] for j in chunk]
         alpha0 = carry if warm_start else None
@@ -368,6 +433,7 @@ def recover_windows(
             alpha0=alpha0,
             max_iter=max_iter,
             tol=tol,
+            settings=settings,
         )
         results.extend(solved)
         carry = solved[-1].alpha
@@ -376,7 +442,7 @@ def recover_windows(
 
 def recover_windows_loop(
     problem: CsProblem,
-    ys: Sequence[np.ndarray],
+    ys: Sequence[ndarray],
     *,
     method: str = "admm",
     sigma: Optional[float] = None,
@@ -391,14 +457,16 @@ def recover_windows_loop(
 
     Identical warm-start schedule (chunk boundaries included), one scalar
     solve per window.  This is the benchmark baseline and the
-    differential-test oracle; ``fresh_problem=True`` additionally rebuilds
+    differential-test oracle — including for the fast-path backends,
+    which is why it takes no backend settings: the oracle is always the
+    scalar float64 path.  ``fresh_problem=True`` additionally rebuilds
     the composed operator per window, reproducing the pre-cache cost
     model the benchmarks compare against.
     """
     if batch_size < 1:
         raise ValueError("batch_size must be positive")
     results: List[RecoveryResult] = []
-    carry: Optional[np.ndarray] = None
+    carry: Optional[ndarray] = None
     kwargs: dict = {}
     if max_iter is not None:
         kwargs["max_iter"] = max_iter

@@ -139,9 +139,10 @@ def recovery_cache_stats() -> dict:
     """Hit accounting for this process's receiver-side caches.
 
     Combines the operator cache (shared ΦΨ compositions and their
-    factorizations) with the sizes of both link memos; the solver
-    microbenchmark records this alongside its timings so cache
-    effectiveness is visible in ``BENCH_solvers.json``.
+    factorizations, including the per-``(backend, precision)`` operator
+    sets of the array-backend seam) with the sizes of both link memos;
+    the solver microbenchmark records this alongside its timings so
+    cache effectiveness is visible in ``BENCH_solvers.json``.
     """
     from repro.recovery.opcache import PROBLEM_CACHE
 
@@ -175,8 +176,11 @@ def encode_batch(
     All tasks must share one link (same ``config``/``method``/codebook) —
     the batch is a stack of windows through a single front-end.  Output
     is bit-identical to mapping :func:`encode` over the tasks (see
-    ``docs/encoding.md``); when ``config.encode.batched`` is off the
-    scalar map is exactly what runs.
+    ``docs/encoding.md``) at the default exact ``config.backend``; when
+    ``config.encode.batched`` is off the scalar map is exactly what
+    runs.  A fast ``config.backend`` (e.g. float32) threads through the
+    front-end's measurement GEMM here, with its boundary guard still
+    verified in float64 (``docs/backends.md``).
     """
     if not tasks:
         return []

@@ -30,15 +30,39 @@ Three integrators are provided:
 
 All return the waveform in millivolts; quantization to ADC units happens in
 :mod:`repro.signals.database`.
+
+**Backend seam:** the synthesis kernels consume :mod:`repro.backend`
+(``_xp`` below is the host reference namespace) instead of importing
+numpy/scipy directly; :func:`synthesize_ecg` takes an optional
+:class:`~repro.backend.BackendSettings` to run the per-sample kernels —
+the Gaussian wave drive and the exponential-integrator IIR — on a fast
+backend/precision.  Randomness stays on the host by policy (the RR
+tachogram and phase draw are identical for every backend), so a fast
+path differs from the exact one only by kernel rounding, which the
+differential tests bound.  The oracles (:func:`synthesize_loop`,
+:func:`integrate_reference`) are host-float64 by definition.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
-import numpy as np
-from scipy import signal as sps
+from repro.backend import (
+    BackendSettings,
+    Generator,
+    HOST,
+    default_rng,
+    ndarray,
+    resolve,
+)
+
+__backend_seam__ = True
+
+#: Host reference namespace (numpy for the process lifetime); every
+#: exact-path computation and all randomness goes through it.
+_xp = HOST.xp
 
 __all__ = [
     "EcgMorphology",
@@ -80,18 +104,18 @@ class EcgMorphology:
         """Return a copy with all wave amplitudes multiplied by a factor."""
         return replace(self, a=tuple(amplitude * ai for ai in self.a))
 
-    def arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """The three parameter tuples as float arrays."""
+    def arrays(self) -> Tuple[ndarray, ndarray, ndarray]:
+        """The three parameter tuples as host float arrays."""
         return (
-            np.asarray(self.theta_rad, dtype=float),
-            np.asarray(self.a, dtype=float),
-            np.asarray(self.b, dtype=float),
+            _xp.asarray(self.theta_rad, dtype=float),
+            _xp.asarray(self.a, dtype=float),
+            _xp.asarray(self.b, dtype=float),
         )
 
 
 #: Canonical normal-sinus morphology from the ECGSYN paper (Table 1).
 NORMAL_MORPHOLOGY = EcgMorphology(
-    theta_rad=(-np.pi / 3.0, -np.pi / 12.0, 0.0, np.pi / 12.0, np.pi / 2.0),
+    theta_rad=(-math.pi / 3.0, -math.pi / 12.0, 0.0, math.pi / 12.0, math.pi / 2.0),
     a=(1.2, -5.0, 30.0, -7.5, 0.75),
     b=(0.25, 0.1, 0.1, 0.1, 0.4),
 )
@@ -99,7 +123,7 @@ NORMAL_MORPHOLOGY = EcgMorphology(
 #: A wide-QRS, absent-P morphology approximating a premature ventricular
 #: contraction; used by the database to give some records ectopic beats.
 PVC_MORPHOLOGY = EcgMorphology(
-    theta_rad=(-np.pi / 3.0, -np.pi / 9.0, -np.pi / 36.0, np.pi / 7.0, 1.9),
+    theta_rad=(-math.pi / 3.0, -math.pi / 9.0, -math.pi / 36.0, math.pi / 7.0, 1.9),
     a=(0.0, -9.0, 22.0, -11.0, -1.8),
     b=(0.25, 0.18, 0.22, 0.18, 0.5),
 )
@@ -108,14 +132,14 @@ PVC_MORPHOLOGY = EcgMorphology(
 #: deeper S, more prominent T — used as the second channel of two-lead
 #: records (MIT-BIH records carry MLII plus a precordial lead).
 V5_MORPHOLOGY = EcgMorphology(
-    theta_rad=(-np.pi / 3.0, -np.pi / 12.0, 0.0, np.pi / 12.0, np.pi / 2.0),
+    theta_rad=(-math.pi / 3.0, -math.pi / 12.0, 0.0, math.pi / 12.0, math.pi / 2.0),
     a=(0.9, -3.0, 18.0, -10.5, 1.6),
     b=(0.25, 0.1, 0.1, 0.1, 0.45),
 )
 
 #: The PVC beat as seen from the V5-like lead.
 PVC_V5_MORPHOLOGY = EcgMorphology(
-    theta_rad=(-np.pi / 3.0, -np.pi / 9.0, -np.pi / 36.0, np.pi / 7.0, 1.9),
+    theta_rad=(-math.pi / 3.0, -math.pi / 9.0, -math.pi / 36.0, math.pi / 7.0, 1.9),
     a=(0.0, -6.0, 15.0, -14.0, -2.4),
     b=(0.25, 0.18, 0.22, 0.18, 0.5),
 )
@@ -156,13 +180,15 @@ def rr_tachogram(
     n_samples: int,
     fs_hz: float,
     params: RRParameters,
-    rng: np.random.Generator,
-) -> np.ndarray:
+    rng: Generator,
+) -> ndarray:
     """Generate an RR-interval time series sampled at ``fs_hz``.
 
     Uses the ECGSYN spectral-synthesis recipe: build the bimodal amplitude
     spectrum, attach uniformly random phases, inverse-FFT, then rescale to
-    the requested RR mean and standard deviation.
+    the requested RR mean and standard deviation.  Host-side by policy —
+    randomness never runs on a fast backend, so every backend consumes
+    the identical tachogram.
 
     Returns
     -------
@@ -171,10 +197,10 @@ def rr_tachogram(
     """
     if n_samples <= 0:
         raise ValueError("n_samples must be positive")
-    freqs = np.fft.rfftfreq(n_samples, d=1.0 / fs_hz)
+    freqs = _xp.fft.rfftfreq(n_samples, d=1.0 / fs_hz)
 
-    def gaussian(f0: float, sd: float, power: float) -> np.ndarray:
-        return power * np.exp(-((freqs - f0) ** 2) / (2.0 * sd**2))
+    def gaussian(f0: float, sd: float, power: float) -> ndarray:
+        return power * _xp.exp(-((freqs - f0) ** 2) / (2.0 * sd**2))
 
     # Power split between LF and HF bands according to the ratio.
     lf_power = params.lf_hf_ratio / (1.0 + params.lf_hf_ratio)
@@ -182,41 +208,50 @@ def rr_tachogram(
     spectrum = gaussian(params.lf_hz, params.lf_std_hz, lf_power) + gaussian(
         params.hf_hz, params.hf_std_hz, hf_power
     )
-    amplitude = np.sqrt(spectrum)
-    phases = rng.uniform(0.0, 2.0 * np.pi, size=amplitude.size)
+    amplitude = _xp.sqrt(spectrum)
+    phases = rng.uniform(0.0, 2.0 * math.pi, size=amplitude.size)
     # DC and (for even n) Nyquist bins must be real for a real series.
     phases[0] = 0.0
     if n_samples % 2 == 0:
         phases[-1] = 0.0
-    series = np.fft.irfft(amplitude * np.exp(1j * phases), n=n_samples)
+    series = _xp.fft.irfft(amplitude * _xp.exp(1j * phases), n=n_samples)
 
-    std = float(np.std(series))
+    std = float(_xp.std(series))
     mean_rr = params.mean_rr_s
     std_rr = params.std_hr_bpm * 60.0 / params.mean_hr_bpm**2
     if std > 0 and std_rr > 0:
         series = series / std * std_rr
     else:
-        series = np.zeros(n_samples)
+        series = _xp.zeros(n_samples)
     rr = mean_rr + series
     # Physiological floor: never let an RR interval collapse to <= 0.2 s.
-    return np.maximum(rr, 0.2)
+    return _xp.maximum(rr, 0.2)
 
 
 def _gaussian_wave_drive(
-    theta: np.ndarray, omega: np.ndarray, morphology: EcgMorphology
-) -> np.ndarray:
+    theta: ndarray,
+    omega: ndarray,
+    morphology: EcgMorphology,
+    xp=_xp,
+    dtype=None,
+) -> ndarray:
     """The z-forcing term of the dynamical model at given phases.
 
     ``-sum_i a_i * dtheta_i * exp(-dtheta_i^2 / (2 b_i^2))`` where
     ``dtheta_i = (theta - theta_i)`` wrapped to ``[-pi, pi)``.  The ``a_i``
     here follow the ECGSYN convention where the drive is additionally scaled
     by the angular velocity (so faster beats are narrower in time, not in
-    phase).
+    phase).  ``xp``/``dtype`` select the namespace and precision the bumps
+    are evaluated in (host float64 by default — the exact path).
     """
     th, a, b = morphology.arrays()
-    dtheta = (theta[:, None] - th[None, :] + np.pi) % (2.0 * np.pi) - np.pi
-    bumps = a[None, :] * dtheta * np.exp(-(dtheta**2) / (2.0 * b[None, :] ** 2))
-    return -omega * np.sum(bumps, axis=1)
+    if xp is not _xp or dtype is not None:
+        th = xp.asarray(th, dtype=dtype)
+        a = xp.asarray(a, dtype=dtype)
+        b = xp.asarray(b, dtype=dtype)
+    dtheta = (theta[:, None] - th[None, :] + math.pi) % (2.0 * math.pi) - math.pi
+    bumps = a[None, :] * dtheta * xp.exp(-(dtheta**2) / (2.0 * b[None, :] ** 2))
+    return -omega * xp.sum(bumps, axis=1)
 
 
 def synthesize_ecg(
@@ -230,8 +265,9 @@ def synthesize_ecg(
     resp_rate_hz: float = 0.25,
     resp_amplitude_mv: float = 0.005,
     seed: Optional[int] = None,
-    rng: Optional[np.random.Generator] = None,
-) -> np.ndarray:
+    rng: Optional[Generator] = None,
+    settings: Optional[BackendSettings] = None,
+) -> ndarray:
     """Synthesize an ECG waveform in millivolts (fast phase-domain path).
 
     Parameters
@@ -253,47 +289,64 @@ def synthesize_ecg(
         Respiratory baseline coupling of the model's ``z0(t)`` term.
     seed, rng:
         Randomness control; pass ``rng`` to share a generator, else ``seed``.
+        Draws happen on the host for every backend.
+    settings:
+        Backend/precision for the synthesis kernels (drive + IIR);
+        ``None`` or NumPy/float64 is the exact, bit-stable path.
 
     Returns
     -------
     numpy.ndarray
-        Millivolt samples, shape ``(round(duration_s * fs_hz),)``.
+        Millivolt samples (host float64), shape
+        ``(round(duration_s * fs_hz),)``.
     """
     if duration_s <= 0:
         raise ValueError("duration_s must be positive")
     if fs_hz <= 0:
         raise ValueError("fs_hz must be positive")
     if rng is None:
-        rng = np.random.default_rng(seed)
+        rng = default_rng(seed)
     n = int(round(duration_s * fs_hz))
     dt = 1.0 / fs_hz
 
     # RR process, resampled onto the output grid, gives the instantaneous
     # angular velocity omega(t) = 2*pi / RR(t).
     rr = rr_tachogram(n, fs_hz, rr_params, rng)
-    omega = 2.0 * np.pi / rr
+    omega = 2.0 * math.pi / rr
 
     # Phase integration: on the limit cycle dtheta/dt = omega exactly.
-    theta = np.empty(n)
-    theta0 = rng.uniform(-np.pi, np.pi)
+    theta = _xp.empty(n)
+    theta0 = rng.uniform(-math.pi, math.pi)
     theta[0] = theta0
     if n > 1:
-        theta[1:] = theta0 + np.cumsum(omega[:-1]) * dt
-    theta = (theta + np.pi) % (2.0 * np.pi) - np.pi
+        theta[1:] = theta0 + _xp.cumsum(omega[:-1]) * dt
+    theta = (theta + math.pi) % (2.0 * math.pi) - math.pi
 
     # z obeys z' = drive(t) - (z - z0(t)).  Exact discretization of the
     # linear part: z[k+1] = e^{-dt} z[k] + (1 - e^{-dt}) u[k] with
     # u = z0 + drive, implemented as a first-order IIR filter.
-    t = np.arange(n) * dt
-    z0 = resp_amplitude_mv * np.sin(2.0 * np.pi * resp_rate_hz * t)
-    drive = _gaussian_wave_drive(theta, omega, morphology)
-    u = z0 + drive
-    decay = float(np.exp(-dt))
+    t = _xp.arange(n) * dt
+    z0 = resp_amplitude_mv * _xp.sin(2.0 * math.pi * resp_rate_hz * t)
+    decay = float(_xp.exp(-dt))
     zi_gain = 1.0 - decay
-    z = sps.lfilter([zi_gain], [1.0, -decay], u)
+    backend, xp, dtype, settings = resolve(settings)
+    if settings.is_exact:
+        drive = _gaussian_wave_drive(theta, omega, morphology)
+        z = HOST.first_order_iir(zi_gain, decay, z0 + drive)
+    else:
+        theta_dev = backend.asarray(theta, dtype=dtype)
+        omega_dev = backend.asarray(omega, dtype=dtype)
+        drive = _gaussian_wave_drive(
+            theta_dev, omega_dev, morphology, xp=xp, dtype=dtype
+        )
+        u = backend.asarray(z0, dtype=dtype) + drive
+        z = _xp.asarray(
+            backend.to_numpy(backend.first_order_iir(zi_gain, decay, u)),
+            dtype=_xp.float64,
+        )
 
     # Rescale so the R peak sits near amplitude_mv.
-    peak = float(np.max(np.abs(z)))
+    peak = float(_xp.max(_xp.abs(z)))
     if peak > 0:
         z = z * (amplitude_mv / peak)
     return z + z_baseline_mv
@@ -310,47 +363,49 @@ def synthesize_loop(
     resp_rate_hz: float = 0.25,
     resp_amplitude_mv: float = 0.005,
     seed: Optional[int] = None,
-    rng: Optional[np.random.Generator] = None,
-) -> np.ndarray:
+    rng: Optional[Generator] = None,
+) -> ndarray:
     """Per-sample scalar oracle for :func:`synthesize_ecg`.
 
     Same model, same randomness, same discretization — but the phase
     accumulation, forcing evaluation and exponential-integrator update
     run one sample at a time in Python.  The output is **bit-identical**
-    to the vectorized path: the accumulations it unrolls (``np.cumsum``,
-    the 5-wave bump sum, the first-order IIR) match numpy's sequential
-    semantics exactly, and numpy's elementwise transcendentals are
-    length-independent.  Kept as the differential-testing oracle and as
-    the throughput baseline of the synthesis microbenchmark.
+    to the vectorized path at default (exact) backend settings: the
+    accumulations it unrolls (``cumsum``, the 5-wave bump sum, the
+    first-order IIR) match numpy's sequential semantics exactly, and
+    numpy's elementwise transcendentals are length-independent.  Kept as
+    the differential-testing oracle — for the fast backends too, which
+    is why it takes no backend settings — and as the throughput baseline
+    of the synthesis microbenchmark.
     """
     if duration_s <= 0:
         raise ValueError("duration_s must be positive")
     if fs_hz <= 0:
         raise ValueError("fs_hz must be positive")
     if rng is None:
-        rng = np.random.default_rng(seed)
+        rng = default_rng(seed)
     n = int(round(duration_s * fs_hz))
     dt = 1.0 / fs_hz
 
     # Identical RNG draw order to synthesize_ecg: tachogram, then theta0.
     rr = rr_tachogram(n, fs_hz, rr_params, rng)
-    omega = 2.0 * np.pi / rr
-    theta0 = rng.uniform(-np.pi, np.pi)
+    omega = 2.0 * math.pi / rr
+    theta0 = rng.uniform(-math.pi, math.pi)
 
-    theta = np.empty(n)
+    theta = _xp.empty(n)
     accumulated = omega.dtype.type(0.0)
-    theta[0] = (theta0 + np.pi) % (2.0 * np.pi) - np.pi
+    theta[0] = (theta0 + math.pi) % (2.0 * math.pi) - math.pi
     for k in range(1, n):
         accumulated = accumulated + omega[k - 1]
-        theta[k] = (theta0 + accumulated * dt + np.pi) % (2.0 * np.pi) - np.pi
+        theta[k] = (theta0 + accumulated * dt + math.pi) % (2.0 * math.pi) - math.pi
 
-    decay = float(np.exp(-dt))
+    decay = float(_xp.exp(-dt))
     zi_gain = 1.0 - decay
-    two_pi_resp = 2.0 * np.pi * resp_rate_hz
-    z = np.empty(n)
+    two_pi_resp = 2.0 * math.pi * resp_rate_hz
+    z = _xp.empty(n)
     state = 0.0
     for k in range(n):
-        z0_k = resp_amplitude_mv * np.sin(two_pi_resp * (np.float64(k) * dt))
+        z0_k = resp_amplitude_mv * _xp.sin(two_pi_resp * (_xp.float64(k) * dt))
         drive_k = _gaussian_wave_drive(
             theta[k : k + 1], omega[k : k + 1], morphology
         )[0]
@@ -359,7 +414,7 @@ def synthesize_loop(
         state = decay * y_k
         z[k] = y_k
 
-    peak = float(np.max(np.abs(z)))
+    peak = float(_xp.max(_xp.abs(z)))
     if peak > 0:
         z = z * (amplitude_mv / peak)
     return z + z_baseline_mv
@@ -374,7 +429,7 @@ def integrate_reference(
     amplitude_mv: float = 1.0,
     oversample: int = 2,
     warmup_s: float = 3.0,
-) -> np.ndarray:
+) -> ndarray:
     """Reference RK4 integration of the full three-state ECGSYN ODE.
 
     Deterministic (fixed heart rate, no HRV) and slow; exists so the test
@@ -390,24 +445,24 @@ def integrate_reference(
     if warmup_s < 0:
         raise ValueError("warmup cannot be negative")
     th, a, b = morphology.arrays()
-    omega = 2.0 * np.pi * mean_hr_bpm / 60.0
+    omega = 2.0 * math.pi * mean_hr_bpm / 60.0
 
-    def rhs(state: np.ndarray) -> np.ndarray:
+    def rhs(state: ndarray) -> ndarray:
         x, y, z = state
-        alpha = 1.0 - np.hypot(x, y)
-        theta = np.arctan2(y, x)
-        dtheta = (theta - th + np.pi) % (2.0 * np.pi) - np.pi
+        alpha = 1.0 - _xp.hypot(x, y)
+        theta = _xp.arctan2(y, x)
+        dtheta = (theta - th + math.pi) % (2.0 * math.pi) - math.pi
         dz = -float(
-            np.sum(a * omega * dtheta * np.exp(-(dtheta**2) / (2.0 * b**2)))
+            _xp.sum(a * omega * dtheta * _xp.exp(-(dtheta**2) / (2.0 * b**2)))
         ) - z
-        return np.array([alpha * x - omega * y, alpha * y + omega * x, dz])
+        return _xp.array([alpha * x - omega * y, alpha * y + omega * x, dz])
 
     n_out = int(round(duration_s * fs_hz))
     n_warm = int(round(warmup_s * fs_hz))
     h = 1.0 / (fs_hz * oversample)
     # Start at theta = -pi on the unit circle (beginning of a cycle).
-    state = np.array([-1.0, 0.0, 0.0])
-    out = np.empty(n_out)
+    state = _xp.array([-1.0, 0.0, 0.0])
+    out = _xp.empty(n_out)
     for k in range(n_warm + n_out):
         if k >= n_warm:
             out[k - n_warm] = state[2]
@@ -417,8 +472,8 @@ def integrate_reference(
             k3 = rhs(state + 0.5 * h * k2)
             k4 = rhs(state + h * k3)
             state = state + (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
-    out = out - float(np.mean(out))
-    peak = float(np.max(np.abs(out)))
+    out = out - float(_xp.mean(out))
+    peak = float(_xp.max(_xp.abs(out)))
     if peak > 0:
         out = out * (amplitude_mv / peak)
     return out

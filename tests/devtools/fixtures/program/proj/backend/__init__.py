@@ -1,0 +1,5 @@
+"""The fixture project's backend package (RL105's allowed home)."""
+
+from proj.backend.impl import host_namespace
+
+__all__ = ["host_namespace"]

@@ -1,0 +1,13 @@
+"""A seam-declared module that still imports array libraries directly."""
+
+import numpy as np
+from scipy.linalg import cho_factor
+
+__backend_seam__ = True
+
+
+def leaky_norm(values):
+    """Euclidean norm computed outside the backend seam."""
+    factor = cho_factor(np.eye(2))
+    del factor
+    return float(np.linalg.norm(np.asarray(values)))

@@ -1,0 +1,12 @@
+"""A seam-declared module that keeps array work behind the backend."""
+
+from proj.backend.impl import host_namespace
+from proj.low.util import double
+
+__backend_seam__ = True
+
+
+def seam_norm(values):
+    """Euclidean norm computed through the backend namespace."""
+    xp = host_namespace()
+    return float(xp.linalg.norm(xp.asarray(values))) + double(0)

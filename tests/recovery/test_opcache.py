@@ -156,3 +156,88 @@ class TestRecoveryEngineSettings:
     def test_hashable_with_config(self):
         """Configs stay hashable (the link memo keys on them)."""
         assert hash(FrontEndConfig()) == hash(FrontEndConfig())
+
+
+class TestOperatorSets:
+    """Operator-set caching: backend AND precision participate in the key."""
+
+    def _problem(self):
+        key = _key(m=32, n=64)
+        return CsProblem(key.sensing.build(32, 64), make_basis(64, "db4"))
+
+    def test_same_settings_reuse_one_set(self):
+        from repro.backend import BackendSettings
+
+        cache = ProblemCache()
+        problem = self._problem()
+        a = cache.operators(problem, BackendSettings())
+        b = cache.operators(problem, BackendSettings())
+        assert a is b
+        stats = cache.stats()
+        assert stats["operator_hits"] == 1
+        assert stats["operator_misses"] == 1
+        assert stats["operator_sets"] == 1
+
+    def test_precision_participates_in_key(self):
+        from repro.backend import BackendSettings
+
+        cache = ProblemCache()
+        problem = self._problem()
+        exact = cache.operators(problem, BackendSettings())
+        fast = cache.operators(
+            problem, BackendSettings(precision="float32")
+        )
+        assert exact is not fast
+        assert cache.stats()["operator_misses"] == 2
+        assert fast.a.dtype == np.float32
+        assert exact.a.dtype == np.float64
+
+    def test_problem_identity_participates_in_key(self):
+        from repro.backend import BackendSettings
+
+        cache = ProblemCache()
+        a = cache.operators(self._problem(), BackendSettings())
+        b = cache.operators(self._problem(), BackendSettings())
+        assert a is not b
+        assert cache.stats()["operator_misses"] == 2
+
+    def test_exact_set_delegates_to_problem(self):
+        """The bit-identity contract: on NumPy/float64 the set exposes
+        the problem's own operator and factorization objects."""
+        from repro.backend import BackendSettings
+
+        problem = self._problem()
+        ops = ProblemCache().operators(problem, BackendSettings())
+        assert ops.a is problem.a
+        assert ops.admm_factor() is problem.admm_factor()
+
+    def test_fast_factor_is_native_precision(self):
+        from repro.backend import BackendSettings
+
+        problem = self._problem()
+        ops = ProblemCache().operators(
+            problem, BackendSettings(precision="float32")
+        )
+        factor = ops.admm_factor()
+        assert factor[0].dtype == np.float32
+        rhs = np.ones((64, 2), dtype=np.float32)
+        solved = ops.cho_solve(rhs)
+        assert solved.dtype == np.float32
+        gram = np.eye(64) + problem.a.T @ problem.a
+        assert np.allclose(gram @ solved.astype(np.float64), rhs, atol=1e-3)
+
+    def test_operators_for_defaults_and_clear(self):
+        from repro.backend import BackendSettings
+        from repro.recovery.opcache import operators_for
+
+        cache = ProblemCache()
+        problem = self._problem()
+        default = operators_for(problem, cache=cache)
+        assert default.settings == BackendSettings()
+        assert operators_for(problem, cache=cache) is default
+        cache.clear()
+        stats = cache.stats()
+        assert stats["operator_sets"] == 0
+        assert stats["operator_hits"] == 0
+        assert stats["operator_misses"] == 0
+        assert operators_for(problem, cache=cache) is not default
