@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-cov lint lint-fast lint-sarif bench bench-smoke bench-encode-smoke bench-backend-smoke bench-full stream-smoke report examples clean-cache
+.PHONY: install test test-fast test-cov lint lint-fast lint-sarif bench bench-smoke bench-encode-smoke bench-backend-smoke bench-full stream-smoke loadtest-smoke report examples clean-cache
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -72,6 +72,16 @@ bench-backend-smoke:
 stream-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli stream --patients 4 --duration 10 \
 		--workers 2 --output benchmarks/results/STREAM_smoke.json
+
+# Deterministic 200-patient load test against the 2-shard wire-framed
+# cluster, cross-checked against a single-process baseline for byte
+# identity and throughput; writes benchmarks/results/BENCH_gateway.json
+# (rendered by `repro report`, gated in CI).
+loadtest-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli loadtest --patients 200 \
+		--duration 1.0 --window 128 --measurements 48 --max-iter 300 \
+		--chunk 181 --seed 7 --shards 2 --transport wire --workers 2 \
+		--compare-single --output benchmarks/results/BENCH_gateway.json
 
 bench-full:
 	REPRO_BENCH_SCALE=full REPRO_CACHE_DIR=.repro_cache \

@@ -13,6 +13,10 @@ The subcommands cover the everyday workflows:
 * ``repro stream``     — the multi-patient streaming telemetry gateway:
   N synthetic patients through a lossy link into a ``StreamGateway``,
   with periodic snapshots (see ``docs/streaming.md``);
+* ``repro loadtest``   — the deterministic gateway load test: hundreds
+  to thousands of interleaved synthetic patients with scripted
+  loss/overload phases against the single-process or sharded gateway,
+  writing ``BENCH_gateway.json`` (see ``docs/streaming.md``);
 * ``repro tradeoff``   — the low-resolution channel design table
   (Figs. 5-6 / Table I in one view);
 * ``repro power``      — the Section VI power comparison for a given pair
@@ -507,6 +511,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         bit_error_rate=args.bit_error_rate,
         seed=args.seed,
         queue_capacity=args.queue_capacity,
+        shed_policy=args.policy,
         reorder_depth=args.reorder_depth,
         poll_every=args.poll_every,
     )
@@ -536,6 +541,95 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(final.to_json() + "\n")
         print(f"wrote {out}")
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.config import FrontEndConfig
+    from repro.recovery.pdhg import PdhgSettings
+    from repro.stream.loadgen import (
+        PHASE_SCRIPTS,
+        LoadScenario,
+        run_loadtest,
+    )
+
+    config = FrontEndConfig(
+        window_len=args.window,
+        n_measurements=args.measurements,
+        lowres_bits=args.lowres_bits,
+        solver=PdhgSettings(max_iter=args.max_iter),
+        backend=_backend_settings(args),
+    )
+    scenario = LoadScenario(
+        patients=args.patients,
+        duration_s=args.duration,
+        config=config,
+        method=args.method,
+        chunk_size=args.chunk,
+        seed=args.seed,
+        queue_capacity=args.queue_capacity,
+        shed_policy=args.policy,
+        reorder_depth=args.reorder_depth,
+        phases=PHASE_SCRIPTS[args.phases],
+    )
+    mode = (
+        f"{args.shards} shards ({args.transport})"
+        if args.shards > 1
+        else "single-process"
+    )
+    print(
+        f"loadtest: {scenario.patients} patients x {scenario.duration_s:g} s "
+        f"[{args.phases}] against {mode}, policy {scenario.shed_policy}"
+    )
+    payload = run_loadtest(
+        scenario,
+        shards=args.shards,
+        transport=args.transport,
+        workers=args.workers,
+        on_progress=print if args.verbose else None,
+    )
+
+    if args.compare_single and args.shards > 1:
+        # The acceptance cross-check: the sharded runtime must recover
+        # byte-identical output, and (given the cores) not run slower.
+        baseline = run_loadtest(scenario, shards=1, workers=args.workers)
+        payload["baseline_single"] = {
+            "wall_s": baseline["wall_s"],
+            "frames_per_sec": baseline["frames_per_sec"],
+            "recovered_digest": baseline["recovered_digest"],
+        }
+        payload["identical_to_single"] = (
+            payload["recovered_digest"] == baseline["recovered_digest"]
+        )
+        print(
+            f"identity vs single-process: {payload['identical_to_single']} "
+            f"(sharded {payload['frames_per_sec']:.1f} fr/s, "
+            f"single {baseline['frames_per_sec']:.1f} fr/s)"
+        )
+
+    rate = payload["frames_per_sec"]
+    rate_txt = f"{rate:.1f} frames/s" if rate is not None else "n/a"
+    p99 = payload["latency_p99_s"]
+    p99_txt = f"{1e3 * p99:.0f}ms" if p99 is not None else "-"
+    print(
+        f"completed {payload['windows_completed']} windows ({rate_txt}) | "
+        f"p99 {p99_txt} | lost {payload['frames_lost']} "
+        f"(drops {payload['queue_drops']} rejects {payload['queue_rejects']} "
+        f"shed {payload['shed_frames']}) | "
+        f"concealed {payload['concealed']}"
+    )
+    if payload["per_shard"]:
+        balance = ", ".join(
+            f"{name}: {stats['sessions']}s/{stats['windows_completed']}w"
+            for name, stats in payload["per_shard"].items()
+        )
+        print(f"per-shard balance: {balance}")
+    out = Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
     return 0
 
 
@@ -684,7 +778,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-bit flip probability on surviving frames")
     p.add_argument("--seed", type=int, default=0, help="base channel seed")
     p.add_argument("--queue-capacity", type=int, default=64,
-                   help="per-session ingress queue bound (drop-oldest)")
+                   help="per-session ingress queue bound")
+    p.add_argument("--policy", default="drop-oldest",
+                   choices=("drop-oldest", "drop-newest", "shed-patient"),
+                   help="ingress queue overflow policy (default: drop-oldest)")
     p.add_argument("--reorder-depth", type=int, default=4,
                    help="windows a frame may run ahead before a gap is "
                         "declared lost and concealed")
@@ -695,6 +792,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", "-o",
                    help="also write the final gateway snapshot as JSON")
     p.set_defaults(func=_cmd_stream)
+
+    p = sub.add_parser(
+        "loadtest",
+        help="deterministic gateway load test; writes BENCH_gateway.json",
+    )
+    p.add_argument("--patients", type=int, default=200,
+                   help="interleaved synthetic patient streams (records "
+                        "repeat beyond 48, each under its own identity)")
+    p.add_argument("--duration", type=float, default=1.5,
+                   help="seconds of signal per patient")
+    p.add_argument("--method", choices=("hybrid", "normal"), default="hybrid")
+    p.add_argument("--window", type=int, default=512)
+    p.add_argument("--measurements", "-m", type=int, default=96)
+    p.add_argument("--lowres-bits", type=int, default=7)
+    p.add_argument("--max-iter", type=int, default=3000)
+    p.add_argument("--chunk", type=int, default=181,
+                   help="samples per playback chunk")
+    p.add_argument("--seed", type=int, default=0, help="base channel seed")
+    p.add_argument("--queue-capacity", type=int, default=64,
+                   help="per-session ingress queue bound")
+    p.add_argument("--policy", default="drop-oldest",
+                   choices=("drop-oldest", "drop-newest", "shed-patient"),
+                   help="ingress queue overflow policy (default: drop-oldest)")
+    p.add_argument("--reorder-depth", type=int, default=4)
+    p.add_argument("--phases", default="nominal",
+                   choices=("nominal", "stress"),
+                   help="scripted load timeline: steady nominal traffic, or "
+                        "nominal -> loss -> poll-starved overload")
+    p.add_argument("--shards", type=int, default=1,
+                   help="gateway shards (1 = single-process StreamGateway)")
+    p.add_argument("--transport", default="inproc",
+                   choices=("inproc", "wire"),
+                   help="sharded ingress transport (wire = length-prefixed "
+                        "byte framing; ignored for --shards 1)")
+    p.add_argument("--compare-single", action="store_true",
+                   help="with --shards > 1, also run single-process and "
+                        "record throughput + bit-identity of the output")
+    p.add_argument("--verbose", action="store_true",
+                   help="print a snapshot line after every gateway poll")
+    _add_workers_option(p, default=1)
+    _add_backend_options(p)
+    p.add_argument("--output", "-o",
+                   default="benchmarks/results/BENCH_gateway.json",
+                   help="where to write the machine-readable result")
+    p.set_defaults(func=_cmd_loadtest)
 
     p = sub.add_parser("tradeoff", help="low-res channel design table")
     p.add_argument("--records", nargs="*", help="training/eval records")

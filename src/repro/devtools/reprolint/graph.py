@@ -110,7 +110,18 @@ REPRO_LAYERS = LayerConfig(
         ("frontend", ["repro.core", "repro.power"]),
         ("runtime", ["repro.runtime"]),
         ("experiments", ["repro.experiments"]),
-        ("stream", ["repro.stream"]),
+        # The sharded cluster runtime and load generator are registered
+        # explicitly alongside the base streaming package: they live in
+        # the same layer (cluster builds on gateway/wire, loadgen builds
+        # on cluster) and may not be imported from below it.
+        (
+            "stream",
+            [
+                "repro.stream",
+                "repro.stream.cluster",
+                "repro.stream.loadgen",
+            ],
+        ),
         ("surface", ["repro.cli", "repro.__main__", "repro"]),
     ]
 )

@@ -21,10 +21,12 @@ __all__ = [
     "BENCH_SWEEP_STEM",
     "BENCH_SOLVERS_STEM",
     "BENCH_ENCODE_STEM",
+    "BENCH_GATEWAY_STEM",
     "ReportSection",
     "bench_sweep_section",
     "bench_solvers_section",
     "bench_encode_section",
+    "bench_gateway_section",
     "build_report",
     "write_report",
 ]
@@ -37,6 +39,9 @@ BENCH_SOLVERS_STEM = "BENCH_solvers"
 
 #: Stem of the optional encoder-microbenchmark artifact (`repro bench`).
 BENCH_ENCODE_STEM = "BENCH_encode"
+
+#: Stem of the optional gateway load-test artifact (`repro loadtest`).
+BENCH_GATEWAY_STEM = "BENCH_gateway"
 
 #: (artifact stem, section heading) in paper order.
 EXPECTED_ARTIFACTS: Tuple[Tuple[str, str], ...] = (
@@ -304,6 +309,87 @@ def bench_encode_section(results_dir: Path) -> str:
     return "\n".join(lines)
 
 
+def bench_gateway_section(results_dir: Path) -> str:
+    """Markdown for the gateway load-test artifact, or "" when absent.
+
+    ``BENCH_gateway.json`` is the ``repro loadtest`` output (see
+    ``docs/streaming.md``); informational, like the other bench
+    artifacts.
+    """
+    path = Path(results_dir) / f"{BENCH_GATEWAY_STEM}.json"
+    if not path.exists():
+        return ""
+    try:
+        data = json.loads(path.read_text())
+    except ValueError:
+        return ""
+    scenario = data.get("scenario", {})
+    mode = data.get("mode", {})
+    shards = mode.get("shards", 1)
+    runtime = (
+        f"{shards} shards / {mode.get('transport')} transport"
+        if shards and shards > 1
+        else "single-process"
+    )
+    phase_names = "+".join(
+        p.get("name", "?") for p in scenario.get("phases", [])
+    )
+    lines = [
+        "## Gateway load test (`repro loadtest`)",
+        "",
+        f"- scenario: {scenario.get('patients')} patients x "
+        f"{scenario.get('duration_s')} s [{phase_names}], "
+        f"policy `{scenario.get('shed_policy')}`",
+        f"- runtime: {runtime}, {mode.get('workers')} worker(s)",
+    ]
+    rate = data.get("frames_per_sec")
+    lines.append(
+        f"- completed: {data.get('windows_completed')} windows in "
+        f"{data.get('wall_s', 0):.2f} s"
+        + (f" ({rate:.1f} frames/s)" if rate is not None else "")
+    )
+    pcts = []
+    for key, label in (
+        ("latency_p50_s", "p50"),
+        ("latency_p95_s", "p95"),
+        ("latency_p99_s", "p99"),
+    ):
+        value = data.get(key)
+        if value is not None:
+            pcts.append(f"{label} {value * 1e3:.0f} ms")
+    if pcts:
+        lines.append(f"- frame latency (simulated clock): {' / '.join(pcts)}")
+    lines.append(
+        f"- loss handling: lost {data.get('frames_lost')} "
+        f"(drops {data.get('queue_drops')}, rejects "
+        f"{data.get('queue_rejects')}, shed {data.get('shed_frames')}), "
+        f"concealed {data.get('concealed')}, "
+        f"CS fallbacks {data.get('cs_fallbacks')}"
+    )
+    per_shard = data.get("per_shard")
+    if per_shard:
+        balance = ", ".join(
+            f"`{name}` {stats.get('sessions')} sessions / "
+            f"{stats.get('windows_completed')} windows"
+            for name, stats in per_shard.items()
+        )
+        lines.append(f"- shard balance: {balance}")
+    identical = data.get("identical_to_single")
+    if identical is not None:
+        baseline = data.get("baseline_single") or {}
+        base_rate = baseline.get("frames_per_sec")
+        lines.append(
+            f"- identity vs single-process: {identical}"
+            + (
+                f" (baseline {base_rate:.1f} frames/s)"
+                if base_rate is not None
+                else ""
+            )
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
 def build_report(results_dir: Path) -> Tuple[str, int, int]:
     """Render the Markdown report.
 
@@ -340,6 +426,7 @@ def build_report(results_dir: Path) -> Tuple[str, int, int]:
         bench_sweep_section(results_dir),
         bench_solvers_section(results_dir),
         bench_encode_section(results_dir),
+        bench_gateway_section(results_dir),
     ):
         if bench:
             body_parts.append(bench)

@@ -62,6 +62,20 @@ class Executor(ABC):
         """How many processes actually compute (1 for serial)."""
         return 1
 
+    def shutdown(self) -> None:
+        """Release any worker resources (idempotent; a no-op for serial).
+
+        Long-lived services — the streaming gateway shards poll their
+        executor thousands of times — call this once at teardown; batch
+        sweeps may ignore it entirely.
+        """
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
 
 class SerialExecutor(Executor):
     """Run every task in-process, in order — the deterministic default."""
@@ -87,6 +101,14 @@ class ParallelExecutor(Executor):
     max_inflight:
         Cap on outstanding submitted futures (default ``4 × workers``);
         bounds both scheduler memory and pickled-payload backlog.
+    persistent:
+        Keep the worker pool alive across :meth:`run_tasks` calls
+        instead of spawning one per call.  Batch sweeps call
+        ``run_tasks`` once, so the default (False) costs them nothing;
+        a streaming gateway shard polls thousands of times, and paying
+        process spawn per poll would dwarf the solves.  A persistent
+        pool must be released with :meth:`shutdown` (or by using the
+        executor as a context manager).
 
     Determinism: each worker rebuilds front-end/receiver state from the
     task payload via per-process caches, and every solve is a pure
@@ -101,6 +123,7 @@ class ParallelExecutor(Executor):
         workers: Optional[int] = None,
         *,
         max_inflight: Optional[int] = None,
+        persistent: bool = False,
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
@@ -112,11 +135,48 @@ class ParallelExecutor(Executor):
         self.max_inflight = (
             int(max_inflight) if max_inflight is not None else 4 * self.workers
         )
+        self.persistent = bool(persistent)
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
 
     @property
     def effective_workers(self) -> int:
         """The configured worker-process count."""
         return self.workers
+
+    def shutdown(self) -> None:
+        """Tear down the persistent pool, if one is alive (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _run_on_pool(
+        self,
+        pool: concurrent.futures.ProcessPoolExecutor,
+        tasks: List[Any],
+        fn: Callable[[Any], Any],
+    ) -> List[Any]:
+        results: List[Optional[Any]] = [None] * len(tasks)
+        pending = {}
+        task_iter = iter(enumerate(tasks))
+        exhausted = False
+        while pending or not exhausted:
+            while not exhausted and len(pending) < self.max_inflight:
+                try:
+                    index, task = next(task_iter)
+                except StopIteration:
+                    exhausted = True
+                    break
+                pending[pool.submit(fn, task)] = index
+            if not pending:
+                break
+            done, _ = concurrent.futures.wait(
+                pending, return_when=concurrent.futures.FIRST_COMPLETED
+            )
+            for future in done:
+                index = pending.pop(future)
+                results[index] = future.result()
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
 
     def run_tasks(
         self,
@@ -129,35 +189,21 @@ class ParallelExecutor(Executor):
         the workers.
         """
         tasks = list(tasks)
-        if len(tasks) <= 1 or self.workers == 1:
+        if self.workers == 1 or (len(tasks) <= 1 and self._pool is None):
             # Not worth a pool; also keeps the single-task path trivially
-            # debuggable.
+            # debuggable.  (With a warm persistent pool, reusing it is
+            # cheaper than the serial special case is worth.)
             return SerialExecutor().run_tasks(tasks, fn)
-        results: List[Optional[Any]] = [None] * len(tasks)
+        if self.persistent:
+            if self._pool is None:
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.workers
+                )
+            return self._run_on_pool(self._pool, tasks, fn)
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=self.workers
         ) as pool:
-            pending = {}
-            task_iter = iter(enumerate(tasks))
-            exhausted = False
-            while pending or not exhausted:
-                while not exhausted and len(pending) < self.max_inflight:
-                    try:
-                        index, task = next(task_iter)
-                    except StopIteration:
-                        exhausted = True
-                        break
-                    pending[pool.submit(fn, task)] = index
-                if not pending:
-                    break
-                done, _ = concurrent.futures.wait(
-                    pending, return_when=concurrent.futures.FIRST_COMPLETED
-                )
-                for future in done:
-                    index = pending.pop(future)
-                    results[index] = future.result()
-        assert all(r is not None for r in results)
-        return results  # type: ignore[return-value]
+            return self._run_on_pool(pool, tasks, fn)
 
 
 def resolve_worker_count(workers: Optional[int]) -> int:

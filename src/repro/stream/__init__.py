@@ -7,39 +7,85 @@ sample streams (bit-identical to the batch encoder),
 :class:`~repro.stream.session.PatientSession`\\ s reconstruct frame
 streams under loss/reordering with CRC fallback and zero-order-hold
 concealment, and a :class:`~repro.stream.gateway.StreamGateway` serves
-many sessions at once with bounded queues, an explicit drop-oldest
-backpressure policy, and recovery-solve fan-out through the
-:mod:`repro.runtime` executors.  See ``docs/streaming.md``.
+many sessions at once with bounded queues, selectable load-shedding
+policies (:data:`~repro.stream.gateway.SHEDDING_POLICIES`), and
+recovery-solve fan-out through the :mod:`repro.runtime` executors.
+
+Scaling out, a :class:`~repro.stream.cluster.ShardedGateway` partitions
+sessions across shards by consistent hashing
+(:class:`~repro.stream.cluster.HashRing`), optionally fed through the
+length-prefixed :mod:`repro.stream.wire` byte framing, with graceful
+drain/restart via :class:`~repro.stream.session.SessionState`
+migration; :mod:`repro.stream.loadgen` is the deterministic load-test
+harness (``repro loadtest``) that measures all of it.  See
+``docs/streaming.md``.
 """
 
+from repro.stream.cluster import HashRing, ShardedGateway, stable_hash
 from repro.stream.driver import StreamScenario, run_stream_scenario
-from repro.stream.gateway import BoundedQueue, StreamGateway
+from repro.stream.gateway import (
+    SHEDDING_POLICIES,
+    BoundedQueue,
+    StreamGateway,
+)
 from repro.stream.ingest import IngestSession, StreamFrame, codebook_spec_for
+from repro.stream.loadgen import (
+    PHASE_SCRIPTS,
+    LoadPhase,
+    LoadScenario,
+    StepClock,
+    build_gateway,
+    recovered_digest,
+    run_loadtest,
+)
 from repro.stream.metrics import GatewaySnapshot, RollingStat, SessionSnapshot
 from repro.stream.session import (
     PatientSession,
     PlannedWindow,
     RecoveredWindow,
     RecoveryTask,
+    SessionState,
     SignalRing,
     execute_recovery_task,
+)
+from repro.stream.wire import (
+    FrameAssembler,
+    WireError,
+    decode_frame_body,
+    encode_frame,
 )
 
 __all__ = [
     "BoundedQueue",
+    "FrameAssembler",
     "GatewaySnapshot",
+    "HashRing",
     "IngestSession",
+    "LoadPhase",
+    "LoadScenario",
+    "PHASE_SCRIPTS",
     "PatientSession",
     "PlannedWindow",
     "RecoveredWindow",
     "RecoveryTask",
     "RollingStat",
+    "SHEDDING_POLICIES",
     "SessionSnapshot",
+    "SessionState",
+    "ShardedGateway",
     "SignalRing",
+    "StepClock",
     "StreamFrame",
     "StreamGateway",
     "StreamScenario",
+    "WireError",
+    "build_gateway",
     "codebook_spec_for",
+    "decode_frame_body",
+    "encode_frame",
     "execute_recovery_task",
+    "recovered_digest",
+    "run_loadtest",
     "run_stream_scenario",
+    "stable_hash",
 ]

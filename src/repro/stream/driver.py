@@ -60,6 +60,9 @@ class StreamScenario:
         Base channel seed; patient ``i`` uses ``seed + i``.
     queue_capacity / reorder_depth / ring_windows:
         Gateway/session bounds (see their classes).
+    shed_policy:
+        Gateway ingress overflow policy, one of
+        :data:`~repro.stream.gateway.SHEDDING_POLICIES`.
     poll_every:
         Gateway poll cadence, in playback chunks.
     """
@@ -73,6 +76,7 @@ class StreamScenario:
     bit_error_rate: float = 0.0
     seed: int = 0
     queue_capacity: int = 64
+    shed_policy: str = "drop-oldest"
     reorder_depth: int = 4
     ring_windows: int = 8
     poll_every: int = 8
@@ -123,6 +127,7 @@ def run_stream_scenario(
     gateway = StreamGateway(
         executor=executor,
         queue_capacity=scenario.queue_capacity,
+        shed_policy=scenario.shed_policy,
         clock=clock,
     )
     for name in names:

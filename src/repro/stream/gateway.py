@@ -9,12 +9,24 @@ recovery solves out through one pluggable
 the batch sweeps use, so ``--workers N`` scales streaming recovery the
 same way it scales ``repro compress``.
 
-**Backpressure policy:** every ingress queue is a drop-oldest FIFO of
-fixed capacity.  When a producer outruns recovery, the oldest queued
-frame is discarded (counted in ``queue_drops``) and the receiver later
-conceals that window via the normal erasure path — bounded staleness
-and bounded memory, never an unbounded backlog.  Queue high-water marks
-are tracked so the bound is observable (and asserted in tests).
+**Backpressure policies:** every ingress queue is a bounded FIFO of
+fixed capacity with a selectable shedding policy (``shed_policy``):
+
+* ``drop-oldest`` (default) — the oldest queued frame is discarded
+  (counted in ``queue_drops``); bounded staleness, freshest data wins.
+* ``drop-newest`` — the arriving frame is rejected (counted in
+  ``queue_rejects``); in-flight work is never invalidated, arrivals
+  during overload are sacrificed.
+* ``shed-patient`` — the overloaded patient's whole backlog is cleared
+  in one shed event (``patient_sheds`` events, ``shed_frames`` frames)
+  and the arriving frame is accepted; one misbehaving/overdriven
+  patient pays for its own overload instead of degrading smoothly.
+
+Whatever the policy, a discarded frame later surfaces as a sequence gap
+and the receiver conceals that window via the normal erasure path —
+bounded staleness and bounded memory, never an unbounded backlog.
+Queue high-water marks are tracked so the bound is observable (and
+asserted in tests).
 
 Wall-clock use is injectable (``clock=``) so latency/throughput
 telemetry is real in production yet fully deterministic in tests.
@@ -37,30 +49,68 @@ from repro.stream.session import (
     execute_recovery_task,
 )
 
-__all__ = ["BoundedQueue", "StreamGateway"]
+__all__ = ["SHEDDING_POLICIES", "BoundedQueue", "StreamGateway"]
+
+#: The ingress load-shedding policies a gateway queue can run.
+SHEDDING_POLICIES = ("drop-oldest", "drop-newest", "shed-patient")
 
 
 class BoundedQueue:
-    """Drop-oldest bounded FIFO with a drop counter and high-water mark."""
+    """Bounded FIFO with a selectable overflow policy and per-policy counters.
 
-    def __init__(self, capacity: int) -> None:
+    ``drops`` counts frames discarded by ``drop-oldest`` overflow,
+    ``rejects`` counts arrivals refused by ``drop-newest``, and
+    ``sheds``/``shed_frames`` count ``shed-patient`` backlog-clear
+    events and the frames they discarded.  ``high_water`` tracks the
+    deepest the queue ever got, whatever the policy.
+    """
+
+    def __init__(self, capacity: int, policy: str = "drop-oldest") -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
+        if policy not in SHEDDING_POLICIES:
+            raise ValueError(
+                f"unknown shedding policy {policy!r}; "
+                f"choose from {SHEDDING_POLICIES}"
+            )
         self.capacity = int(capacity)
+        self.policy = str(policy)
         self._items: Deque = deque()
         self.drops = 0
+        self.rejects = 0
+        self.sheds = 0
+        self.shed_frames = 0
         self.high_water = 0
 
     def __len__(self) -> int:
         return len(self._items)
 
+    @property
+    def lost(self) -> int:
+        """Total frames this queue discarded, across all policies."""
+        return self.drops + self.rejects + self.shed_frames
+
     def push(self, item) -> bool:
-        """Enqueue ``item``; returns False when the oldest entry was dropped."""
+        """Enqueue ``item``; returns False when any frame was discarded.
+
+        On overflow the configured policy decides who pays: the oldest
+        queued entry (``drop-oldest``), the arriving ``item``
+        (``drop-newest``), or the whole backlog (``shed-patient``, which
+        then accepts ``item`` into the emptied queue).
+        """
         kept = True
         if len(self._items) >= self.capacity:
-            self._items.popleft()
-            self.drops += 1
             kept = False
+            if self.policy == "drop-oldest":
+                self._items.popleft()
+                self.drops += 1
+            elif self.policy == "drop-newest":
+                self.rejects += 1
+                return False
+            else:  # shed-patient
+                self.sheds += 1
+                self.shed_frames += len(self._items)
+                self._items.clear()
         self._items.append(item)
         self.high_water = max(self.high_water, len(self._items))
         return kept
@@ -68,6 +118,12 @@ class BoundedQueue:
     def popleft(self):
         """Dequeue the oldest item (raises ``IndexError`` when empty)."""
         return self._items.popleft()
+
+    def drain(self) -> List:
+        """Remove and return every queued item, oldest first."""
+        items = list(self._items)
+        self._items.clear()
+        return items
 
 
 class StreamGateway:
@@ -80,7 +136,10 @@ class StreamGateway:
         :class:`~repro.runtime.executors.ParallelExecutor` overlaps the
         independent window solves across processes.
     queue_capacity:
-        Per-session ingress queue bound (drop-oldest beyond this).
+        Per-session ingress queue bound (``shed_policy`` beyond this).
+    shed_policy:
+        Ingress overflow policy, one of :data:`SHEDDING_POLICIES`
+        (default ``drop-oldest``).
     latency_window:
         Number of recent per-window latencies retained for percentiles.
     clock:
@@ -93,19 +152,32 @@ class StreamGateway:
         *,
         executor: Optional[Executor] = None,
         queue_capacity: int = 64,
+        shed_policy: str = "drop-oldest",
         latency_window: int = 512,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if latency_window <= 0:
             raise ValueError("latency_window must be positive")
+        if shed_policy not in SHEDDING_POLICIES:
+            raise ValueError(
+                f"unknown shedding policy {shed_policy!r}; "
+                f"choose from {SHEDDING_POLICIES}"
+            )
         self.executor = executor or SerialExecutor()
         self.queue_capacity = int(queue_capacity)
+        self.shed_policy = str(shed_policy)
         self._clock = clock
         self._start = clock()
         self._sessions: Dict[str, PatientSession] = {}
         self._queues: Dict[str, BoundedQueue] = {}
         self._latencies: Deque[float] = deque(maxlen=int(latency_window))
         self._completed = 0
+        # Loss accounting carried over from queues evicted by migration.
+        self._migrated_drops = 0
+        self._migrated_rejects = 0
+        self._migrated_sheds = 0
+        self._migrated_shed_frames = 0
+        self._migrated_high_water = 0
 
     # -- session management -------------------------------------------------
 
@@ -137,7 +209,9 @@ class StreamGateway:
         )
         session.codebook_spec.resolve()
         self._sessions[patient_id] = session
-        self._queues[patient_id] = BoundedQueue(self.queue_capacity)
+        self._queues[patient_id] = BoundedQueue(
+            self.queue_capacity, self.shed_policy
+        )
         return session
 
     def session(self, patient_id: str) -> PatientSession:
@@ -148,6 +222,51 @@ class StreamGateway:
     def sessions(self) -> Tuple[PatientSession, ...]:
         """All registered sessions, in registration order."""
         return tuple(self._sessions.values())
+
+    # -- session migration (shard drain/restart) ----------------------------
+
+    def evict_session(
+        self, patient_id: str
+    ) -> Tuple[PatientSession, List[Tuple[StreamFrame, float]]]:
+        """Deregister one session, returning it plus its queued frames.
+
+        The migration half-step a draining shard runs: the session object
+        (sequence cursor, warm-start chain, concealment state and
+        counters intact) and the undrained ingress backlog move to
+        whichever gateway :meth:`adopt_session`\\ s them next.  The
+        evicted queue's loss/high-water counters stay aggregated here so
+        gateway telemetry never goes backwards.
+        """
+        session = self._sessions.pop(patient_id)
+        queue = self._queues.pop(patient_id)
+        self._migrated_drops += queue.drops
+        self._migrated_rejects += queue.rejects
+        self._migrated_sheds += queue.sheds
+        self._migrated_shed_frames += queue.shed_frames
+        self._migrated_high_water = max(
+            self._migrated_high_water, queue.high_water
+        )
+        return session, queue.drain()
+
+    def adopt_session(
+        self,
+        session: PatientSession,
+        queued: Optional[List[Tuple[StreamFrame, float]]] = None,
+    ) -> PatientSession:
+        """Register a migrated session (the other half of an eviction).
+
+        The session arrives with its full decoder state; any carried
+        backlog is re-queued in arrival order under *this* gateway's
+        shedding policy.
+        """
+        if session.patient_id in self._sessions:
+            raise ValueError(f"session {session.patient_id!r} already open")
+        self._sessions[session.patient_id] = session
+        queue = BoundedQueue(self.queue_capacity, self.shed_policy)
+        for item in queued or []:
+            queue.push(item)
+        self._queues[session.patient_id] = queue
+        return session
 
     # -- ingress ------------------------------------------------------------
 
@@ -222,19 +341,43 @@ class StreamGateway:
         held = sum(s.pending_reorder for s in self._sessions.values())
         return queued + held
 
+    @property
+    def recent_latencies(self) -> Tuple[float, ...]:
+        """The retained arrival→completion latency samples (seconds).
+
+        Exposed so a cluster front can merge percentile *samples* across
+        shards — percentiles themselves do not compose.
+        """
+        return tuple(self._latencies)
+
     def snapshot(self) -> GatewaySnapshot:
         """Current gateway-wide telemetry as an immutable snapshot."""
         uptime = self._clock() - self._start
-        rate = self._completed / uptime if uptime > 0 else None
+        # null, not 0.0: a rate only exists once a window has completed
+        # inside a positive uptime.
+        rate = (
+            self._completed / uptime
+            if uptime > 0 and self._completed > 0
+            else None
+        )
         return GatewaySnapshot(
             uptime_s=uptime,
             sessions=len(self._sessions),
             windows_inflight=self.windows_inflight,
             windows_completed=self._completed,
             reconstructed_per_sec=rate,
-            queue_drops=sum(q.drops for q in self._queues.values()),
+            shed_policy=self.shed_policy,
+            queue_drops=self._migrated_drops
+            + sum(q.drops for q in self._queues.values()),
+            queue_rejects=self._migrated_rejects
+            + sum(q.rejects for q in self._queues.values()),
+            patient_sheds=self._migrated_sheds
+            + sum(q.sheds for q in self._queues.values()),
+            shed_frames=self._migrated_shed_frames
+            + sum(q.shed_frames for q in self._queues.values()),
             queue_high_water=max(
-                (q.high_water for q in self._queues.values()), default=0
+                self._migrated_high_water,
+                max((q.high_water for q in self._queues.values()), default=0),
             ),
             late_drops=sum(s.late_drops for s in self._sessions.values()),
             duplicate_drops=sum(
@@ -244,6 +387,7 @@ class StreamGateway:
             cs_fallbacks=sum(s.cs_fallbacks for s in self._sessions.values()),
             latency_p50_s=rolling_percentile(self._latencies, 50.0),
             latency_p95_s=rolling_percentile(self._latencies, 95.0),
+            latency_p99_s=rolling_percentile(self._latencies, 99.0),
             per_session=tuple(
                 s.snapshot() for s in self._sessions.values()
             ),

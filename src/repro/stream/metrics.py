@@ -110,6 +110,9 @@ class SessionSnapshot:
     buffered_samples: int
     rolling_prd_percent: Optional[float]
     rolling_snr_db: Optional[float]
+    #: 95th percentile of the rolling PRD window; ``None`` (never 0.0,
+    #: never a crash) for a session that has applied zero scored windows.
+    prd_p95_percent: Optional[float] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-Python dict form (JSON-ready)."""
@@ -126,6 +129,7 @@ class SessionSnapshot:
             "buffered_samples": self.buffered_samples,
             "rolling_prd_percent": self.rolling_prd_percent,
             "rolling_snr_db": self.rolling_snr_db,
+            "prd_p95_percent": self.prd_p95_percent,
         }
 
 
@@ -135,9 +139,17 @@ class GatewaySnapshot:
 
     ``windows_inflight`` counts frames accepted but not yet resolved
     (queued at ingress plus held in per-session reorder buffers);
-    ``latency_p50_s`` / ``latency_p95_s`` are percentiles over the
-    bounded window of recent arrival→completion latencies for solved
-    windows (``None`` until the first solve completes).
+    ``latency_p50_s`` / ``latency_p95_s`` / ``latency_p99_s`` are
+    percentiles over the bounded window of recent arrival→completion
+    latencies for solved windows.  Every percentile/rate field is
+    ``None`` — never 0.0, never a crash — until the statistic actually
+    exists (first completed window), so an idle gateway serializes to
+    honest JSON.
+
+    ``queue_drops`` / ``queue_rejects`` / ``patient_sheds`` /
+    ``shed_frames`` are the per-policy ingress shedding counters (see
+    :data:`~repro.stream.gateway.SHEDDING_POLICIES`): only the counters
+    of the active ``shed_policy`` can grow, the others stay zero.
     """
 
     uptime_s: float
@@ -153,7 +165,17 @@ class GatewaySnapshot:
     cs_fallbacks: int
     latency_p50_s: Optional[float]
     latency_p95_s: Optional[float]
+    latency_p99_s: Optional[float] = None
+    shed_policy: str = "drop-oldest"
+    queue_rejects: int = 0
+    patient_sheds: int = 0
+    shed_frames: int = 0
     per_session: Tuple[SessionSnapshot, ...] = ()
+
+    @property
+    def frames_lost(self) -> int:
+        """Frames discarded at ingress across every shedding policy."""
+        return self.queue_drops + self.queue_rejects + self.shed_frames
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-Python dict form (JSON-ready)."""
@@ -164,7 +186,11 @@ class GatewaySnapshot:
             "windows_inflight": self.windows_inflight,
             "windows_completed": self.windows_completed,
             "reconstructed_per_sec": self.reconstructed_per_sec,
+            "shed_policy": self.shed_policy,
             "queue_drops": self.queue_drops,
+            "queue_rejects": self.queue_rejects,
+            "patient_sheds": self.patient_sheds,
+            "shed_frames": self.shed_frames,
             "queue_high_water": self.queue_high_water,
             "late_drops": self.late_drops,
             "duplicate_drops": self.duplicate_drops,
@@ -172,6 +198,7 @@ class GatewaySnapshot:
             "cs_fallbacks": self.cs_fallbacks,
             "latency_p50_s": self.latency_p50_s,
             "latency_p95_s": self.latency_p95_s,
+            "latency_p99_s": self.latency_p99_s,
             "per_session": [s.to_dict() for s in self.per_session],
         }
 
@@ -202,5 +229,6 @@ class GatewaySnapshot:
             f"done={self.windows_completed} inflight={self.windows_inflight} "
             f"rate={rate} prd={prd} p95={p95} "
             f"concealed={self.concealed} fallback={self.cs_fallbacks} "
-            f"drops={self.queue_drops}"
+            f"drops={self.queue_drops} rejects={self.queue_rejects} "
+            f"shed={self.shed_frames}"
         )

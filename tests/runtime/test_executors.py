@@ -80,6 +80,41 @@ class TestParallelExecutorValidation:
         assert ParallelExecutor(workers=2).run_tasks([]) == []
 
 
+class TestExecutorLifecycle:
+    def test_shutdown_is_idempotent_noop_without_pool(self):
+        ex = ParallelExecutor(workers=2)
+        ex.shutdown()
+        ex.shutdown()
+        assert ex._pool is None
+
+    def test_serial_context_manager(self):
+        with SerialExecutor() as ex:
+            assert ex.run_tasks([1, 2], fn=_double) == [2, 4]
+
+    def test_persistent_pool_survives_across_calls(self):
+        with ParallelExecutor(workers=2, persistent=True) as ex:
+            assert ex.run_tasks([1, 2, 3], fn=_double) == [2, 4, 6]
+            pool = ex._pool
+            assert pool is not None
+            assert ex.run_tasks([4, 5], fn=_double) == [8, 10]
+            assert ex._pool is pool  # reused, not respawned
+        assert ex._pool is None  # released on exit
+
+    def test_transient_pool_leaves_no_state(self):
+        ex = ParallelExecutor(workers=2)
+        assert ex.run_tasks([1, 2, 3], fn=_double) == [2, 4, 6]
+        assert ex._pool is None
+
+    def test_single_worker_never_pools(self):
+        with ParallelExecutor(workers=1, persistent=True) as ex:
+            assert ex.run_tasks([1, 2], fn=_double) == [2, 4]
+            assert ex._pool is None
+
+
+def _double(x):
+    return 2 * x
+
+
 class TestSerialParallelEquivalence:
     """The acceptance criterion: parallel results are bit-identical."""
 

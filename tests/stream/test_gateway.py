@@ -56,6 +56,153 @@ def _frames_for(name, config, duration_s=4.0):
     return IngestSession(name, config).push(record.adu)
 
 
+class TestSheddingPolicies:
+    def test_drop_newest_rejects_arrival(self):
+        q = BoundedQueue(2, policy="drop-newest")
+        q.push("a")
+        q.push("b")
+        assert not q.push("c")
+        assert q.rejects == 1 and q.drops == 0 and q.sheds == 0
+        assert [q.popleft(), q.popleft()] == ["a", "b"]  # backlog untouched
+
+    def test_shed_patient_clears_backlog_and_accepts(self):
+        q = BoundedQueue(3, policy="shed-patient")
+        for item in "abc":
+            q.push(item)
+        assert not q.push("d")
+        assert q.sheds == 1 and q.shed_frames == 3
+        assert len(q) == 1 and q.popleft() == "d"
+
+    def test_lost_sums_all_policies(self):
+        q = BoundedQueue(1, policy="drop-oldest")
+        q.push("a")
+        q.push("b")
+        assert q.lost == q.drops == 1
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(2, policy="drop-random")
+        with pytest.raises(ValueError):
+            StreamGateway(shed_policy="drop-random")
+
+    @pytest.mark.parametrize(
+        "policy,field",
+        [
+            ("drop-oldest", "queue_drops"),
+            ("drop-newest", "queue_rejects"),
+            ("shed-patient", "shed_frames"),
+        ],
+    )
+    def test_only_active_policy_counter_grows(
+        self, stream_config, policy, field
+    ):
+        gateway = StreamGateway(
+            queue_capacity=2, shed_policy=policy, clock=FakeClock()
+        )
+        gateway.open_session("100", stream_config)
+        for frame in _frames_for("100", stream_config)[:5]:
+            gateway.submit(frame)
+        snap = gateway.snapshot()
+        counters = {
+            "queue_drops": snap.queue_drops,
+            "queue_rejects": snap.queue_rejects,
+            "shed_frames": snap.shed_frames,
+        }
+        assert counters.pop(field) > 0
+        assert all(v == 0 for v in counters.values())
+        assert snap.shed_policy == policy
+        assert snap.frames_lost == snap.to_dict()[field]
+
+    def test_drop_newest_preserves_oldest_windows(self, stream_config):
+        gateway = StreamGateway(
+            queue_capacity=2, shed_policy="drop-newest", clock=FakeClock()
+        )
+        gateway.open_session("100", stream_config)
+        frames = _frames_for("100", stream_config)
+        for frame in frames[:5]:
+            gateway.submit(frame)
+        gateway.finish()
+        session = gateway.session("100")
+        # The first two windows survive; the later arrivals were refused
+        # and never become gaps *before* them.
+        assert session.solved == 2
+        assert session.concealed == 0
+
+    def test_shed_patient_sacrifices_backlog_for_freshness(
+        self, stream_config
+    ):
+        gateway = StreamGateway(
+            queue_capacity=2, shed_policy="shed-patient", clock=FakeClock()
+        )
+        gateway.open_session("100", stream_config)
+        frames = _frames_for("100", stream_config)[:5]
+        for frame in frames:
+            gateway.submit(frame)
+        gateway.finish()
+        session = gateway.session("100")
+        snap = gateway.snapshot()
+        assert snap.patient_sheds >= 1
+        # The newest window always survives a shed.
+        assert session.next_window == frames[-1].window_index + 1
+
+
+class TestEmptySessionSnapshots:
+    """Percentile/rate fields must be null — never 0.0, never a crash —
+    for sessions and gateways that completed zero windows."""
+
+    def test_idle_gateway_serializes_nulls(self, stream_config):
+        gateway = StreamGateway(clock=FakeClock())
+        gateway.open_session("100", stream_config)
+        snap = gateway.snapshot()
+        assert snap.reconstructed_per_sec is None
+        assert snap.latency_p50_s is None
+        assert snap.latency_p95_s is None
+        assert snap.latency_p99_s is None
+        data = json.loads(snap.to_json())
+        assert data["reconstructed_per_sec"] is None
+        assert data["latency_p99_s"] is None
+        session = data["per_session"][0]
+        assert session["rolling_prd_percent"] is None
+        assert session["prd_p95_percent"] is None
+        assert session["rolling_snr_db"] is None
+
+    def test_zero_uptime_rate_is_null_not_division_error(self, stream_config):
+        gateway = StreamGateway(clock=FakeClock())  # clock never advances
+        gateway.open_session("100", stream_config)
+        for frame in _frames_for("100", stream_config)[:2]:
+            gateway.submit(frame)
+        gateway.finish()
+        snap = gateway.snapshot()
+        assert snap.windows_completed == 2
+        assert snap.uptime_s == 0.0
+        assert snap.reconstructed_per_sec is None  # no rate without uptime
+
+    def test_unscored_session_percentiles_are_null(self, stream_config):
+        # Frames stripped of their telemetry reference: windows solve
+        # but are never scored, so PRD stats must stay null.
+        gateway = StreamGateway(clock=FakeClock())
+        gateway.open_session("100", stream_config)
+        for frame in _frames_for("100", stream_config)[:2]:
+            gateway.submit(
+                StreamFrame(frame.patient_id, frame.packet, frame.crc, None)
+            )
+        gateway.finish()
+        snap = gateway.snapshot().per_session[0]
+        assert snap.solved == 2
+        assert snap.rolling_prd_percent is None
+        assert snap.prd_p95_percent is None
+
+    def test_scored_session_reports_prd_p95(self, stream_config):
+        gateway = StreamGateway(clock=FakeClock())
+        gateway.open_session("100", stream_config)
+        for frame in _frames_for("100", stream_config)[:3]:
+            gateway.submit(frame)
+        gateway.finish()
+        snap = gateway.snapshot().per_session[0]
+        assert snap.prd_p95_percent is not None
+        assert snap.prd_p95_percent >= snap.rolling_prd_percent * 0.99
+
+
 class TestGatewayBasics:
     def test_unknown_patient_rejected(self, stream_config):
         gateway = StreamGateway()

@@ -1,0 +1,153 @@
+"""Tests of the deterministic load-test harness (repro.stream.loadgen)."""
+
+import json
+
+import pytest
+
+from repro.stream.loadgen import (
+    PHASE_SCRIPTS,
+    LoadPhase,
+    LoadScenario,
+    StepClock,
+    build_gateway,
+    run_loadtest,
+)
+
+
+def _scenario(stream_config, **overrides):
+    params = dict(
+        patients=6,
+        duration_s=1.5,
+        config=stream_config,
+        chunk_size=97,
+        seed=11,
+    )
+    params.update(overrides)
+    return LoadScenario(**params)
+
+
+class TestStepClock:
+    def test_advances_monotonically(self):
+        clock = StepClock()
+        assert clock() == 0.0
+        clock.advance(0.25)
+        clock.advance(0.25)
+        assert clock() == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+
+class TestScenarioValidation:
+    def test_rejects_bad_parameters(self, stream_config):
+        with pytest.raises(ValueError):
+            _scenario(stream_config, patients=0)
+        with pytest.raises(ValueError):
+            _scenario(stream_config, shed_policy="drop-random")
+        with pytest.raises(ValueError):
+            _scenario(stream_config, phases=())
+        with pytest.raises(ValueError):
+            LoadPhase("bad", fraction=0.0)
+
+    def test_patients_beyond_48_reuse_records(self, stream_config):
+        scenario = _scenario(stream_config, patients=100)
+        assert len(scenario.patient_ids()) == 100
+        assert len(set(scenario.patient_ids())) == 100
+        assert scenario.record_name_for(0) == scenario.record_name_for(48)
+
+    def test_build_gateway_modes(self, stream_config):
+        from repro.stream.cluster import ShardedGateway
+        from repro.stream.gateway import StreamGateway
+
+        scenario = _scenario(stream_config)
+        single = build_gateway(scenario, StepClock(), shards=1)
+        assert isinstance(single, StreamGateway)
+        sharded = build_gateway(scenario, StepClock(), shards=3)
+        assert isinstance(sharded, ShardedGateway)
+        with pytest.raises(ValueError):
+            build_gateway(scenario, StepClock(), shards=0)
+
+
+class TestNominalRun:
+    @pytest.fixture(scope="class")
+    def payload(self, stream_config):
+        return run_loadtest(_scenario(stream_config))
+
+    def test_no_unexplained_loss_at_nominal_rate(self, payload):
+        """The CI acceptance floor: steady traffic, zero frames lost."""
+        assert payload["frames_erased"] == 0
+        assert payload["frames_lost"] == 0
+        assert payload["concealed"] == 0
+        assert payload["windows_completed"] == payload["frames_delivered"]
+        assert payload["windows_completed"] > 0
+
+    def test_payload_is_strict_json_with_percentiles(self, payload):
+        text = json.dumps(payload, allow_nan=False)
+        data = json.loads(text)
+        assert data["schema"] == "repro-bench-gateway/v1"
+        assert data["latency_p50_s"] is not None
+        assert data["latency_p99_s"] is not None
+        assert data["latency_p50_s"] <= data["latency_p99_s"]
+        assert data["frames_per_sec"] > 0
+        assert data["per_shard"] is None  # single-process run
+        assert data["scenario"]["phases"][0]["name"] == "nominal"
+
+    def test_deterministic_modulo_wall_clock(self, payload, stream_config):
+        again = run_loadtest(_scenario(stream_config))
+        for key in (
+            "frames_sent",
+            "frames_delivered",
+            "windows_completed",
+            "latency_p50_s",
+            "latency_p99_s",
+            "concealed",
+            "recovered_digest",
+        ):
+            assert again[key] == payload[key], key
+
+    def test_sharded_run_is_identity_checked(self, payload, stream_config):
+        sharded = run_loadtest(_scenario(stream_config), shards=2)
+        assert sharded["recovered_digest"] == payload["recovered_digest"]
+        assert sharded["per_shard"] is not None
+        assert (
+            sum(b["sessions"] for b in sharded["per_shard"].values())
+            == payload["scenario"]["patients"]
+        )
+
+
+class TestScriptedPhases:
+    def test_stress_script_exercises_loss_and_shedding(self, stream_config):
+        payload = run_loadtest(
+            _scenario(
+                stream_config,
+                duration_s=3.0,
+                queue_capacity=2,
+                phases=PHASE_SCRIPTS["stress"],
+            )
+        )
+        by_name = {p["name"]: p for p in payload["per_phase"]}
+        assert set(by_name) == {"nominal", "loss", "overload"}
+        assert by_name["nominal"]["frames_erased"] == 0
+        assert by_name["loss"]["frames_erased"] > 0
+        # The poll-starved overload phase must overflow the tiny queue.
+        assert payload["frames_lost"] > 0
+        assert payload["concealed"] > 0
+
+    def test_shed_policy_changes_who_pays(self, stream_config):
+        def lost_counters(policy):
+            payload = run_loadtest(
+                _scenario(
+                    stream_config,
+                    duration_s=3.0,
+                    queue_capacity=2,
+                    shed_policy=policy,
+                    phases=PHASE_SCRIPTS["stress"],
+                )
+            )
+            return payload
+
+        oldest = lost_counters("drop-oldest")
+        newest = lost_counters("drop-newest")
+        shed = lost_counters("shed-patient")
+        assert oldest["queue_drops"] > 0 and oldest["shed_frames"] == 0
+        assert newest["queue_rejects"] > 0 and newest["queue_drops"] == 0
+        assert shed["patient_sheds"] > 0 and shed["queue_drops"] == 0
