@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-cov lint lint-fast lint-sarif bench bench-smoke bench-encode-smoke bench-backend-smoke bench-full stream-smoke loadtest-smoke report examples clean-cache
+.PHONY: install test test-fast test-cov lint lint-fast lint-sarif bench bench-smoke bench-encode-smoke bench-bsbl-smoke bench-backend-smoke bench-full stream-smoke loadtest-smoke report examples clean-cache
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -57,6 +57,12 @@ bench-smoke:
 bench-encode-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --smoke --encode-only \
 		--encode-output benchmarks/results/BENCH_encode.json
+
+# Bayesian-family comparison (BSBL vs hybrid) + batched-vs-scalar
+# agreement; also produced as part of the full `repro bench` run.
+bench-bsbl-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --smoke --bsbl-only \
+		--workers 2 --bsbl-output benchmarks/results/BENCH_bsbl.json
 
 # Per-backend microbenchmarks: the solver/encode grids run twice per
 # cell — the exact numpy/float64 arm (which feeds the gated aggregates)

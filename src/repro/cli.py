@@ -35,6 +35,8 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.recovery.methods import method_names
+
 __all__ = ["build_parser", "main"]
 
 
@@ -275,6 +277,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         _write_encode_bench(args, config, crs, records[0], bench_backends)
         return 0
 
+    if args.bsbl_only:
+        _write_bsbl_bench(args, workers)
+        return 0
+
     scale = ExperimentScale(
         record_names=records, duration_s=args.duration, max_windows=max_windows
     )
@@ -437,7 +443,60 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     # Encoder microbenchmark: the batched encode engine + vectorized
     # synthesis kernels against their scalar reference loops.
     _write_encode_bench(args, config, crs, records[0], bench_backends)
+
+    # Bayesian-family comparison: BSBL / de-quantization vs the hybrid
+    # baseline on the smoke CR grid, plus batched-vs-scalar agreement.
+    _write_bsbl_bench(args, workers)
     return 0
+
+
+def _write_bsbl_bench(args, workers) -> None:
+    """Run the Bayesian-family comparison and write BENCH_bsbl.json.
+
+    Always runs the fixed smoke grid (2 records x 3 windows at window
+    length 256) — the artifact is a quality *comparison* whose gate the
+    CI asserts, not a throughput benchmark, so it stays cheap even in
+    full bench runs.  ``--crs`` still overrides the CR grid.
+    """
+    import json
+
+    from repro.core.config import FrontEndConfig
+    from repro.experiments.bayes_bench import (
+        BAYES_SMOKE_CR_VALUES,
+        bayes_bench_payload,
+        run_bayes_bench,
+        run_bsbl_agreement,
+    )
+    from repro.recovery.pdhg import PdhgSettings
+    from repro.runtime.executors import executor_from_workers
+    from repro.runtime.stages import recovery_cache_stats
+
+    crs = tuple(args.crs) if args.crs else BAYES_SMOKE_CR_VALUES
+    config = FrontEndConfig(
+        window_len=256, solver=PdhgSettings(max_iter=1500, tol=2e-4)
+    )
+    cells = run_bayes_bench(
+        config, crs, executor=executor_from_workers(workers)
+    )
+    for c in cells:
+        print(
+            f"bayes {c.method:<12} CR {c.cr_percent:5.1f}%: "
+            f"SNR {c.mean_snr_db:6.2f} dB | PRD {c.mean_prd_percent:6.2f}%"
+        )
+    agreement = run_bsbl_agreement(config, crs)
+    for c in agreement:
+        print(
+            f"agree {c.solver:<12} CR {c.cr_percent:5.1f}%: "
+            f"max |dalpha| {c.max_abs_alpha_dev:.2e} "
+            f"(speedup {c.speedup:.2f}x)"
+        )
+    payload = bayes_bench_payload(
+        cells, agreement, smoke=True, cache_stats=recovery_cache_stats()
+    )
+    out = Path(args.bsbl_output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
 
 
 def _write_encode_bench(args, config, crs, record_name, backends=None) -> None:
@@ -712,7 +771,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compress", help="compress + reconstruct one record")
     p.add_argument("--record", default="100", help="synthetic record name")
     p.add_argument("--wfdb", help="path to a WFDB .hea file (overrides --record)")
-    p.add_argument("--method", choices=("hybrid", "normal"), default="hybrid")
+    p.add_argument("--method", choices=method_names(), default="hybrid")
     p.add_argument("--window", type=int, default=512)
     p.add_argument("--measurements", "-m", type=int, default=96)
     p.add_argument("--lowres-bits", type=int, default=7)
@@ -753,6 +812,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--encode-only", action="store_true",
                    help="run only the encoder/synthesis microbenchmark "
                         "(the `make bench-encode-smoke` configuration)")
+    p.add_argument("--bsbl-output",
+                   default="benchmarks/results/BENCH_bsbl.json",
+                   help="where to write the Bayesian-family comparison")
+    p.add_argument("--bsbl-only", action="store_true",
+                   help="run only the Bayesian-family comparison "
+                        "(the `make bench-bsbl-smoke` configuration)")
     _add_backend_options(p)
     p.set_defaults(func=_cmd_bench)
 
@@ -764,7 +829,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="concurrent synthetic patient streams")
     p.add_argument("--duration", type=float, default=10.0,
                    help="seconds of signal per patient")
-    p.add_argument("--method", choices=("hybrid", "normal"), default="hybrid")
+    p.add_argument("--method", choices=method_names(), default="hybrid")
     p.add_argument("--window", type=int, default=512)
     p.add_argument("--measurements", "-m", type=int, default=96)
     p.add_argument("--lowres-bits", type=int, default=7)
@@ -802,7 +867,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "repeat beyond 48, each under its own identity)")
     p.add_argument("--duration", type=float, default=1.5,
                    help="seconds of signal per patient")
-    p.add_argument("--method", choices=("hybrid", "normal"), default="hybrid")
+    p.add_argument("--method", choices=method_names(), default="hybrid")
     p.add_argument("--window", type=int, default=512)
     p.add_argument("--measurements", "-m", type=int, default=96)
     p.add_argument("--lowres-bits", type=int, default=7)

@@ -58,10 +58,13 @@ def decode_robust(
       and recover from the CS measurements alone.
 
     Returns ``(reconstruction, mode)`` with mode ``"hybrid"`` or
-    ``"cs-fallback"``.  ``fallback_receiver`` defaults to ``receiver``
-    (a hybrid receiver solves a stripped packet with plain BPDN).
-    ``alpha0`` optionally warm-starts the solve (streaming sessions pass
-    the previous window's coefficients).
+    ``"cs-fallback"``.  ``fallback_receiver`` defaults to ``receiver`` —
+    a stripped packet degrades to the method's measurements-only
+    sibling (plain BPDN for Eq. 1 links, plain BSBL for
+    ``"bsbl-dequant"`` links; see
+    :meth:`repro.core.receiver.HybridReceiver.reconstruct`).  ``alpha0``
+    optionally warm-starts the solve (streaming sessions pass the
+    previous window's coefficients).
     """
     if fallback_receiver is None:
         fallback_receiver = receiver

@@ -25,7 +25,14 @@ from repro.core.config import FrontEndConfig
 from repro.core.packets import WindowPacket
 from repro.devtools.contracts import check_dtype, check_shape
 from repro.recovery.bpdn import solve_bpdn
+from repro.recovery.bsbl import (
+    lowres_cell_stats,
+    measurement_noise_var,
+    solve_bsbl,
+    solve_bsbl_dequant,
+)
 from repro.recovery.hybrid import solve_hybrid
+from repro.recovery.methods import MethodSpec, resolve_method
 from repro.recovery.opcache import problem_for_config
 from repro.recovery.result import RecoveryResult
 from repro.sensing.quantizers import lowres_bounds, measurement_quantizer
@@ -63,17 +70,30 @@ class HybridReceiver:
     codebook:
         The shared offline codebook; only needed to decode hybrid packets
         (may be ``None`` for a normal-CS-only receiver).
+    method:
+        Optional registered method name (see
+        :mod:`repro.recovery.methods`).  ``None`` keeps the historical
+        payload-driven dispatch (Eq. 1 when the packet carries a low-res
+        payload, plain BPDN otherwise); a named method pins the solver
+        family — in particular ``"bsbl"``/``"bsbl-dequant"`` route to the
+        Bayesian solvers.  Methods that consume the low-res path degrade
+        to their payload-less sibling on a stripped packet, which is the
+        streaming CRC-fallback contract.
     """
 
     def __init__(
         self,
         config: FrontEndConfig,
         codebook: Optional[DifferenceCodebook] = None,
+        method: Optional[str] = None,
     ) -> None:
         if codebook is not None and codebook.resolution_bits != config.lowres_bits:
             raise ValueError("codebook resolution does not match the config")
         self.config = config
         self.codebook = codebook
+        self.method_spec: Optional[MethodSpec] = (
+            None if method is None else resolve_method(method)
+        )
         # Composed operator — pulled from the process-wide ProblemCache
         # when ``config.recovery.cache_problems`` is on, so receivers at
         # the same operating point share one ΦΨ and its factorizations.
@@ -99,6 +119,18 @@ class HybridReceiver:
             * np.sqrt(m)
             * self.quantizer.step
             / np.sqrt(12.0)
+        )
+
+    def noise_var(self) -> float:
+        """Measurement-noise variance for the Bayesian family.
+
+        The same quantization-noise model as :meth:`sigma`, expressed as
+        a per-measurement variance for the Gaussian likelihood, with
+        ``config.recovery.bsbl.noise_scale`` playing ``sigma_safety``'s
+        slack role.
+        """
+        return measurement_noise_var(
+            self.quantizer.step, self.config.recovery.bsbl.noise_scale
         )
 
     def decode_measurements(self, packet: WindowPacket) -> np.ndarray:
@@ -128,45 +160,86 @@ class HybridReceiver:
     ) -> WindowReconstruction:
         """Full receiver pipeline for one packet.
 
-        Hybrid packets (non-empty low-res payload) get the Eq. 1 solve;
-        normal-CS packets fall back to plain BPDN.  ``alpha0`` optionally
-        warm-starts the solver — typically the previous window's
-        coefficients in a streaming session.
+        Without a pinned method, hybrid packets (non-empty low-res
+        payload) get the Eq. 1 solve and normal-CS packets fall back to
+        plain BPDN; a pinned method routes through its registered solver
+        instead (Bayesian methods included), degrading to the
+        payload-less sibling when the packet arrives stripped.
+        ``alpha0`` optionally warm-starts the solver — typically the
+        previous window's coefficients in a streaming session.
         """
         if packet.n != self.config.window_len:
             raise ValueError("packet window length does not match the config")
         if packet.m != self.config.n_measurements:
             raise ValueError("packet measurement count does not match the config")
         y = self.decode_measurements(packet)
-        sigma = self.sigma()
+        has_payload = packet.lowres_bit_length > 0
 
-        if packet.lowres_bit_length > 0:
+        if self.method_spec is None:
+            solver = "eq1" if has_payload else "bpdn"
+        else:
+            solver = self.method_spec.solver
+        if not has_payload:
+            # Stripped packet (CRC fallback) through a payload-consuming
+            # link: degrade to the measurements-only sibling.
+            solver = {"eq1": "bpdn", "bsbl-dequant": "bsbl"}.get(solver, solver)
+
+        lowres = None
+        bounds = None
+        if solver in ("eq1", "bsbl-dequant"):
             lowres = self.decode_lowres(packet)
             lower, upper = lowres_bounds(
                 lowres, self.config.acquisition_bits, self.config.lowres_bits
             )
+            bounds = (lower - self.center, upper - self.center)
+
+        if solver == "eq1":
             result = solve_hybrid(
                 self.phi,
                 self.basis,
                 y,
-                sigma,
-                lower - self.center,
-                upper - self.center,
+                self.sigma(),
+                bounds[0],
+                bounds[1],
                 settings=self.config.solver,
                 problem=self.problem,
                 alpha0=alpha0,
             )
-        else:
-            lowres = None
+        elif solver == "bpdn":
             result = solve_bpdn(
                 self.phi,
                 self.basis,
                 y,
-                sigma,
+                self.sigma(),
                 settings=self.config.solver,
                 problem=self.problem,
                 alpha0=alpha0,
             )
+        elif solver == "bsbl":
+            result = solve_bsbl(
+                self.phi,
+                self.basis,
+                y,
+                self.noise_var(),
+                settings=self.config.recovery.bsbl,
+                problem=self.problem,
+                alpha0=alpha0,
+            )
+        elif solver == "bsbl-dequant":
+            mid, quant_var = lowres_cell_stats(bounds[0], bounds[1])
+            result = solve_bsbl_dequant(
+                self.phi,
+                self.basis,
+                y,
+                self.noise_var(),
+                mid,
+                quant_var,
+                settings=self.config.recovery.bsbl,
+                problem=self.problem,
+                alpha0=alpha0,
+            )
+        else:  # pragma: no cover - the registry only emits the above
+            raise ValueError(f"unknown solver key {solver!r}")
         x_codes = result.x + self.center
         return WindowReconstruction(
             window_index=packet.window_index,

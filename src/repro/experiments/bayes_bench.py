@@ -1,0 +1,303 @@
+"""Bayesian-family benchmark: BSBL vs the paper's hybrid on the CR grid.
+
+``repro bench`` runs this after the solver microbenchmark and writes the
+result as ``BENCH_bsbl.json``.  Two questions, two halves:
+
+* **Quality** — :func:`run_bayes_bench` drives the standard Fig. 7 sweep
+  (:func:`repro.experiments.runner.sweep_compression_ratios`) with the
+  Bayesian methods next to ``"hybrid"`` and reports mean SNR/PRD per
+  (method, CR) cell.  The payload's ``comparison`` table then answers
+  *where the Bayesian family beats the paper's Eq. 1 solve*: exploiting
+  block structure plus the soft de-quantization likelihood,
+  ``"bsbl-dequant"`` wins across the CR grid (the gate the CI asserts at
+  CR = 50%).
+* **Agreement** — :func:`run_bsbl_agreement` differentially verifies the
+  batched EM engine against its scalar oracle
+  (:func:`~repro.recovery.batched.recover_windows_loop`) on the same
+  grid.  Both paths use the identical LU solve per iteration, so the
+  deviation sits at BLAS-rounding level (~1e-14), far below the 1e-8
+  acceptance bound.
+
+Both halves default to the smoke scale (2 records x 3 windows) so the
+whole artifact lands in seconds; pass an explicit scale for full runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import FrontEndConfig
+from repro.experiments.runner import ExperimentScale, sweep_compression_ratios
+from repro.experiments.solver_bench import _signal_windows
+from repro.recovery.batched import recover_windows, recover_windows_loop
+from repro.recovery.bsbl import measurement_noise_var
+from repro.recovery.methods import resolve_method
+from repro.recovery.opcache import problem_for_config
+from repro.runtime.executors import Executor
+
+__all__ = [
+    "BAYES_BENCH_METHODS",
+    "BAYES_SMOKE_CR_VALUES",
+    "BAYES_SMOKE_SCALE",
+    "BayesBenchCell",
+    "BsblAgreementCell",
+    "run_bayes_bench",
+    "run_bsbl_agreement",
+    "bayes_bench_payload",
+]
+
+#: Methods the quality sweep compares (the paper's hybrid is the baseline).
+BAYES_BENCH_METHODS = ("hybrid", "bsbl", "bsbl-dequant")
+
+#: CR grid points for the smoke artifact; 50% is the CI-gated cell.
+BAYES_SMOKE_CR_VALUES = (50.0, 75.0)
+
+#: Smoke scale: small enough that the full artifact lands in ~10 s.
+BAYES_SMOKE_SCALE = ExperimentScale(
+    record_names=("100", "101"), duration_s=10.0, max_windows=3
+)
+
+#: Batched-vs-scalar acceptance bound (see docs/recovery.md).
+AGREEMENT_TOLERANCE = 1e-8
+
+
+@dataclass(frozen=True)
+class BayesBenchCell:
+    """Aggregated quality at one (method, CR) sweep point."""
+
+    method: str
+    cr_percent: float
+    n_measurements: int
+    n_records: int
+    n_windows: int
+    mean_snr_db: float
+    mean_prd_percent: float
+
+
+@dataclass(frozen=True)
+class BsblAgreementCell:
+    """Batched-vs-scalar deviation and timing for one (solver, CR)."""
+
+    solver: str
+    cr_percent: float
+    n_windows: int
+    loop_s: float
+    batched_s: float
+    max_abs_alpha_dev: float
+
+    @property
+    def speedup(self) -> float:
+        """Batched EM throughput over the per-window scalar loop."""
+        return self.loop_s / self.batched_s
+
+
+def run_bayes_bench(
+    base_config: FrontEndConfig,
+    cr_values: Sequence[float] = BAYES_SMOKE_CR_VALUES,
+    *,
+    methods: Sequence[str] = BAYES_BENCH_METHODS,
+    scale: Optional[ExperimentScale] = None,
+    executor: Optional[Executor] = None,
+) -> List[BayesBenchCell]:
+    """Run the hybrid-vs-Bayesian quality sweep; one cell per (CR, method).
+
+    A thin aggregation shim over the standard Fig. 7 sweep so the bench
+    exercises exactly the production dispatch path (engine → window task
+    → :class:`~repro.core.receiver.HybridReceiver` with an explicit
+    method), not a bespoke harness.
+    """
+    for method in methods:
+        resolve_method(method)
+    scale = scale or BAYES_SMOKE_SCALE
+    points = sweep_compression_ratios(
+        base_config,
+        cr_values=cr_values,
+        methods=methods,
+        scale=scale,
+        cache=False,
+        executor=executor,
+    )
+    return [
+        BayesBenchCell(
+            method=p.method,
+            cr_percent=p.cr_percent,
+            n_measurements=p.n_measurements,
+            n_records=len(p.outcomes),
+            n_windows=sum(len(o.windows) for o in p.outcomes),
+            mean_snr_db=p.mean_snr_db,
+            mean_prd_percent=p.mean_prd_percent,
+        )
+        for p in points
+    ]
+
+
+def run_bsbl_agreement(
+    base_config: FrontEndConfig,
+    cr_values: Sequence[float] = BAYES_SMOKE_CR_VALUES,
+    *,
+    record_name: str = "100",
+    n_windows: int = 4,
+    duration_s: float = 10.0,
+) -> List[BsblAgreementCell]:
+    """Differentially verify batched BSBL against the scalar loop oracle.
+
+    For each (solver, CR) the same window sequence runs through
+    :func:`~repro.recovery.batched.recover_windows` and
+    :func:`~repro.recovery.batched.recover_windows_loop` under identical
+    warm-start schedules; the cell reports the worst per-coefficient
+    deviation.  The de-quantization arm feeds both paths the same cell
+    midpoints/variance, derived from the config's low-res depth.
+    """
+    xs = _signal_windows(
+        record_name, base_config.window_len, n_windows, duration_s
+    )
+    noise_var = measurement_noise_var(
+        1.0, base_config.recovery.bsbl.noise_scale
+    )
+    cells: List[BsblAgreementCell] = []
+    for solver in ("bsbl", "bsbl-dequant"):
+        for cr in cr_values:
+            config = base_config.for_cr(cr)
+            problem = problem_for_config(config)
+            ys = [problem.measure_signal(x) for x in xs]
+            kwargs: Dict[str, object] = dict(
+                method=solver,
+                noise_var=noise_var,
+                bsbl=config.recovery.bsbl,
+                batch_size=config.recovery.batch_size,
+                warm_start=True,
+            )
+            if solver == "bsbl-dequant":
+                # Synthesize the low-res channel the receiver would see:
+                # cell midpoints at the config's coarse depth.
+                d = float(
+                    1 << (config.acquisition_bits - config.lowres_bits)
+                )
+                kwargs["x_mids"] = [(np.floor(x / d) + 0.5) * d for x in xs]
+                kwargs["quant_var"] = (d * d - 1.0) / 12.0
+
+            start = time.perf_counter()
+            loop_results = recover_windows_loop(problem, ys, **kwargs)
+            loop_s = time.perf_counter() - start
+            start = time.perf_counter()
+            batch_results = recover_windows(problem, ys, **kwargs)
+            batched_s = time.perf_counter() - start
+
+            dev = max(
+                float(np.max(np.abs(b.alpha - s.alpha)))
+                for b, s in zip(batch_results, loop_results)
+            )
+            cells.append(
+                BsblAgreementCell(
+                    solver=solver,
+                    cr_percent=float(config.cs_cr_percent),
+                    n_windows=len(ys),
+                    loop_s=loop_s,
+                    batched_s=batched_s,
+                    max_abs_alpha_dev=dev,
+                )
+            )
+    return cells
+
+
+def bayes_bench_payload(
+    cells: Sequence[BayesBenchCell],
+    agreement: Sequence[BsblAgreementCell] = (),
+    *,
+    smoke: bool,
+    cache_stats: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """The ``BENCH_bsbl.json`` document for a bench run.
+
+    ``comparison`` has one row per CR where the hybrid baseline ran,
+    naming the best Bayesian method and its SNR gain; the top-level
+    gates are ``bayes_beats_hybrid`` (some CR where the gain is
+    positive) and ``agreement.within_tolerance`` (batched EM within
+    1e-8 of its scalar oracle) — both asserted by the CI acceptance
+    step.
+    """
+    by_cr: Dict[float, Dict[str, BayesBenchCell]] = {}
+    for c in cells:
+        by_cr.setdefault(c.cr_percent, {})[c.method] = c
+
+    comparison: List[Dict[str, object]] = []
+    for cr in sorted(by_cr):
+        row = by_cr[cr]
+        hybrid = row.get("hybrid")
+        if hybrid is None:
+            continue
+        bayes = {
+            m: c
+            for m, c in row.items()
+            if resolve_method(m).family == "bayesian"
+        }
+        if not bayes:
+            continue
+        best = max(bayes.values(), key=lambda c: c.mean_snr_db)
+        gain = best.mean_snr_db - hybrid.mean_snr_db
+        comparison.append(
+            {
+                "cr_percent": cr,
+                "hybrid_snr_db": hybrid.mean_snr_db,
+                "best_bayes_method": best.method,
+                "best_bayes_snr_db": best.mean_snr_db,
+                "bayes_gain_db": gain,
+                "bayes_wins": gain > 0.0,
+            }
+        )
+
+    wins_at = [
+        float(row["cr_percent"]) for row in comparison if row["bayes_wins"]
+    ]
+    gains = [float(row["bayes_gain_db"]) for row in comparison]
+    max_dev = (
+        max(c.max_abs_alpha_dev for c in agreement) if agreement else None
+    )
+    return {
+        "schema": "repro-bench-bsbl/v1",
+        "smoke": bool(smoke),
+        "methods": sorted({c.method for c in cells}),
+        "cr_values": sorted(by_cr),
+        "cells": [
+            {
+                "method": c.method,
+                "cr_percent": c.cr_percent,
+                "n_measurements": c.n_measurements,
+                "n_records": c.n_records,
+                "n_windows": c.n_windows,
+                "mean_snr_db": c.mean_snr_db,
+                "mean_prd_percent": c.mean_prd_percent,
+            }
+            for c in cells
+        ],
+        "comparison": comparison,
+        "bayes_wins_at": wins_at,
+        "best_gain_db": max(gains) if gains else None,
+        "bayes_beats_hybrid": bool(wins_at),
+        "agreement": {
+            "cells": [
+                {
+                    "solver": c.solver,
+                    "cr_percent": c.cr_percent,
+                    "n_windows": c.n_windows,
+                    "loop": {"wall_clock_s": c.loop_s},
+                    "batched": {"wall_clock_s": c.batched_s},
+                    "speedup": c.speedup,
+                    "max_abs_alpha_dev": c.max_abs_alpha_dev,
+                }
+                for c in agreement
+            ],
+            "max_abs_alpha_dev": max_dev,
+            "tolerance": AGREEMENT_TOLERANCE,
+            "within_tolerance": (
+                None if max_dev is None else max_dev <= AGREEMENT_TOLERANCE
+            ),
+        },
+        "problem_cache": (
+            dict(cache_stats) if cache_stats is not None else None
+        ),
+    }

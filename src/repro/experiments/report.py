@@ -22,11 +22,13 @@ __all__ = [
     "BENCH_SOLVERS_STEM",
     "BENCH_ENCODE_STEM",
     "BENCH_GATEWAY_STEM",
+    "BENCH_BSBL_STEM",
     "ReportSection",
     "bench_sweep_section",
     "bench_solvers_section",
     "bench_encode_section",
     "bench_gateway_section",
+    "bench_bsbl_section",
     "build_report",
     "write_report",
 ]
@@ -42,6 +44,9 @@ BENCH_ENCODE_STEM = "BENCH_encode"
 
 #: Stem of the optional gateway load-test artifact (`repro loadtest`).
 BENCH_GATEWAY_STEM = "BENCH_gateway"
+
+#: Stem of the optional Bayesian-family comparison (`repro bench`).
+BENCH_BSBL_STEM = "BENCH_bsbl"
 
 #: (artifact stem, section heading) in paper order.
 EXPECTED_ARTIFACTS: Tuple[Tuple[str, str], ...] = (
@@ -390,6 +395,53 @@ def bench_gateway_section(results_dir: Path) -> str:
     return "\n".join(lines)
 
 
+def bench_bsbl_section(results_dir: Path) -> str:
+    """Markdown for the Bayesian-family comparison, or "" when absent.
+
+    ``BENCH_bsbl.json`` compares the BSBL recovery family (including
+    Bayesian de-quantization) against the paper's hybrid Eq. 1 solve on
+    an SNR-vs-CR grid (see ``docs/recovery.md``); informational, like
+    the other bench artifacts.
+    """
+    path = Path(results_dir) / f"{BENCH_BSBL_STEM}.json"
+    if not path.exists():
+        return ""
+    try:
+        data = json.loads(path.read_text())
+    except ValueError:
+        return ""
+    lines = [
+        "## Bayesian recovery family (`repro bench`)",
+        "",
+        "| method | CR % | mean SNR dB | mean PRD % |",
+        "|---|---|---|---|",
+    ]
+    for cell in data.get("cells", []):
+        lines.append(
+            f"| {cell.get('method')} "
+            f"| {cell.get('cr_percent', 0):.1f} "
+            f"| {cell.get('mean_snr_db', 0):.2f} "
+            f"| {cell.get('mean_prd_percent', 0):.2f} |"
+        )
+    for row in data.get("comparison", []):
+        verdict = "beats" if row.get("bayes_wins") else "trails"
+        lines.append(
+            f"- CR {row.get('cr_percent', 0):.0f}%: "
+            f"`{row.get('best_bayes_method')}` {verdict} hybrid by "
+            f"{row.get('bayes_gain_db', 0):+.2f} dB"
+        )
+    agreement = data.get("agreement") or {}
+    max_dev = agreement.get("max_abs_alpha_dev")
+    if max_dev is not None:
+        lines.append(
+            f"- batched EM vs scalar oracle: max |dalpha| {max_dev:.2e} "
+            f"(tolerance {agreement.get('tolerance', 0):.0e}, within: "
+            f"{agreement.get('within_tolerance')})"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
 def build_report(results_dir: Path) -> Tuple[str, int, int]:
     """Render the Markdown report.
 
@@ -427,6 +479,7 @@ def build_report(results_dir: Path) -> Tuple[str, int, int]:
         bench_solvers_section(results_dir),
         bench_encode_section(results_dir),
         bench_gateway_section(results_dir),
+        bench_bsbl_section(results_dir),
     ):
         if bench:
             body_parts.append(bench)

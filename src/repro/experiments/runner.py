@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.codebooks import CodebookKey
 from repro.core.config import FrontEndConfig
 from repro.core.outcomes import RecordOutcome
+from repro.recovery.methods import resolve_method
 from repro.runtime.engine import ExecutionEngine, RecordJob
 from repro.runtime.executors import Executor
 from repro.runtime.task import CodebookSpec
@@ -174,7 +175,9 @@ def sweep_compression_ratios(
                         config=config,
                         method=method,
                         codebook=(
-                            codebook_spec if method == "hybrid" else None
+                            codebook_spec
+                            if resolve_method(method).uses_lowres
+                            else None
                         ),
                         max_windows=scale.max_windows,
                     )

@@ -1,4 +1,4 @@
-"""Sparse-recovery solvers: Eq. 1 (hybrid), BPDN, and baselines."""
+"""Sparse-recovery solvers: Eq. 1 (hybrid), BPDN, BSBL, and baselines."""
 
 from repro.recovery.admm import solve_bpdn_admm
 from repro.recovery.batched import (
@@ -6,10 +6,25 @@ from repro.recovery.batched import (
     recover_windows_loop,
     solve_batch,
     solve_bpdn_admm_batch,
+    solve_bsbl_batch,
+    solve_bsbl_dequant_batch,
     solve_fista_batch,
     stack_measurements,
 )
 from repro.recovery.bpdn import ball_block, solve_bpdn
+from repro.recovery.bsbl import (
+    BsblSettings,
+    lowres_cell_stats,
+    measurement_noise_var,
+    solve_bsbl,
+    solve_bsbl_dequant,
+)
+from repro.recovery.methods import (
+    METHODS,
+    MethodSpec,
+    method_names,
+    resolve_method,
+)
 from repro.recovery.fista import lambda_max, solve_fista
 from repro.recovery.opcache import (
     PROBLEM_CACHE,
@@ -43,8 +58,11 @@ from repro.recovery.structured import (
 )
 
 __all__ = [
+    "BsblSettings",
     "ConstraintBlock",
     "CsProblem",
+    "METHODS",
+    "MethodSpec",
     "PROBLEM_CACHE",
     "PdhgSettings",
     "ProblemCache",
@@ -53,6 +71,10 @@ __all__ = [
     "RecoveryResult",
     "TransitionPoint",
     "ball_block",
+    "lowres_cell_stats",
+    "measurement_noise_var",
+    "method_names",
+    "resolve_method",
     "empirical_transition",
     "success_probability",
     "box_block",
@@ -68,6 +90,10 @@ __all__ = [
     "solve_bpdn",
     "solve_bpdn_admm",
     "solve_bpdn_admm_batch",
+    "solve_bsbl",
+    "solve_bsbl_batch",
+    "solve_bsbl_dequant",
+    "solve_bsbl_dequant_batch",
     "solve_cosamp",
     "solve_fista",
     "solve_fista_batch",

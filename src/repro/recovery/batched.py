@@ -47,10 +47,20 @@ warm-start carries and downstream metrics are backend-agnostic.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, List, Optional, Sequence
 
 from repro.backend import BackendSettings, HOST, ndarray, resolve
 from repro.recovery.admm import solve_bpdn_admm
+from repro.recovery.bsbl import (
+    BsblSettings,
+    ar1_blocks,
+    ar1_estimate,
+    bo_gamma_factor,
+    initial_gamma,
+    solve_bsbl,
+    solve_bsbl_dequant,
+)
 from repro.recovery.fista import solve_fista
 from repro.recovery.opcache import OperatorSet, operators_for
 from repro.recovery.problem import CsProblem
@@ -62,6 +72,8 @@ __all__ = [
     "stack_measurements",
     "solve_fista_batch",
     "solve_bpdn_admm_batch",
+    "solve_bsbl_batch",
+    "solve_bsbl_dequant_batch",
     "solve_batch",
     "recover_windows",
     "recover_windows_loop",
@@ -354,6 +366,223 @@ def solve_bpdn_admm_batch(
     )
 
 
+def _bsbl_overrides(
+    bsbl: Optional[BsblSettings],
+    max_iter: Optional[int],
+    tol: Optional[float],
+) -> BsblSettings:
+    """EM settings with the engine-level iteration overrides applied."""
+    settings = bsbl or BsblSettings()
+    updates: dict = {}
+    if max_iter is not None:
+        updates["max_iter"] = max_iter
+    if tol is not None:
+        updates["tol"] = tol
+    return replace(settings, **updates) if updates else settings
+
+
+def _solve_bsbl_stack(
+    ops: OperatorSet,
+    y_stack: Any,
+    gmat: Any,
+    b_stack: Any,
+    bsbl: BsblSettings,
+    alpha0: Optional[ndarray],
+    xp: Any,
+    dtype: Any,
+    solver: str,
+    info: dict,
+) -> List[RecoveryResult]:
+    """The batched BSBL-BO EM loop over an information-form stack.
+
+    Mirrors ``repro.recovery.bsbl._em_information_form`` column-for-column
+    — one batched SPD solve per iteration against ``M_j = Γ_j^{-1} + G``
+    with a multi-column right-hand side ``[b_j | G]`` (the GEMM-shaped
+    E-step), the shared BO gamma rule, the shared AR(1) correlation
+    re-estimate — with the engine's usual convergence masking: a
+    converged window is frozen and compacted out of the active stack.
+    The evidence bookkeeping (scalar ``objective_history``) is skipped;
+    it never feeds back into the iteration.
+    """
+    problem = ops.problem
+    n = problem.n
+    k = y_stack.shape[1]
+    blen = bsbl.block_len
+    g = bsbl.blocks_for(n)
+    idx = xp.arange(g)
+    gdiag = gmat.reshape(g, blen, g, blen)[idx, :, idx, :]
+    gblocks = gmat.reshape(g, blen, n)
+
+    alpha0_stack = (
+        None if alpha0 is None else _stack_alpha0(problem, alpha0, k, xp, dtype)
+    )
+    gamma = xp.asarray(initial_gamma(xp, alpha0_stack, k, g, blen), dtype=dtype)
+    r = xp.zeros(k, dtype=dtype)
+    mu = xp.zeros((k, n), dtype=dtype)
+    b_act = b_stack
+
+    final = xp.empty_like(mu)
+    iterations = xp.zeros(k, dtype=xp.int64)
+    converged = xp.zeros(k, dtype=xp.bool_)
+    active = xp.arange(k)
+
+    for it in range(1, bsbl.max_iter + 1):
+        ka = active.size
+        bmat, binv, _ = ar1_blocks(xp, r, blen)
+        m_stack = xp.empty((ka, n, n), dtype=dtype)
+        m_stack[:] = gmat
+        m5 = m_stack.reshape(ka, g, blen, g, blen)
+        add = binv[:, None, :, :] / gamma[:, :, None, None]
+        m5[:, idx, :, idx, :] += xp.transpose(add, (1, 0, 2, 3))
+
+        rhs = xp.concatenate(
+            [b_act[:, :, None], xp.broadcast_to(gmat, (ka, n, n))], axis=2
+        )
+        sol = xp.linalg.solve(m_stack, rhs)
+        mu_new = sol[:, :, 0]
+        w = sol[:, :, 1:]
+
+        # G is symmetric, so right-multiplying the row stack matches the
+        # scalar path's ``b - G @ mu`` up to GEMM rounding.
+        q = b_act - mu_new @ gmat
+        qb = q.reshape(ka, g, blen)
+        num = xp.einsum("kgb,kbc,kgc->kg", qb, bmat, qb)
+        gw = xp.einsum("ibn,knie->kibe", gblocks, w.reshape(ka, n, g, blen))
+        den = xp.einsum("kbc,kgcb->kg", bmat, gdiag[None] - gw)
+        gamma_prev = gamma
+        gamma = xp.maximum(
+            gamma * bo_gamma_factor(xp, num, den), bsbl.gamma_floor
+        )
+
+        change = xp.linalg.norm(mu_new - mu, axis=1)
+        scale = xp.maximum(xp.linalg.norm(mu_new, axis=1), 1e-12)
+        mu = mu_new
+
+        done = change <= bsbl.tol * scale
+        if xp.any(done):
+            cols = active[done]
+            final[cols] = mu[done]
+            iterations[cols] = it
+            converged[cols] = True
+            keep = ~done
+            active = active[keep]
+            if active.size == 0:
+                break
+            mu = mu[keep]
+            gamma = gamma[keep]
+            gamma_prev = gamma_prev[keep]
+            b_act = b_act[keep]
+            r = r[keep]
+
+        if bsbl.learn_correlation and blen > 1:
+            r = ar1_estimate(
+                xp, mu.reshape(-1, g, blen), gamma_prev, bsbl.corr_limit
+            )
+
+    if active.size:
+        final[active] = mu
+        iterations[active] = bsbl.max_iter
+
+    return _finalize(
+        ops, final.T, y_stack, iterations, converged, solver, info
+    )
+
+
+def solve_bsbl_batch(
+    problem: CsProblem,
+    ys: Sequence[ndarray],
+    noise_var: float,
+    *,
+    bsbl: Optional[BsblSettings] = None,
+    alpha0: Optional[ndarray] = None,
+    max_iter: Optional[int] = None,
+    tol: Optional[float] = None,
+    settings: Optional[BackendSettings] = None,
+) -> List[RecoveryResult]:
+    """Vectorized :func:`~repro.recovery.bsbl.solve_bsbl` over a stack.
+
+    The information matrix ``G = AᵀA / lambda`` is built once from the
+    operator cache's per-``(backend, precision)`` Gram memo; each EM
+    iteration is one batched SPD solve over the active windows.
+    """
+    if noise_var <= 0:
+        raise ValueError("noise_var must be positive")
+    _, xp, dtype, settings = resolve(settings)
+    y_stack = stack_measurements(problem, ys, settings=settings)
+    ops = operators_for(problem, settings)
+    em = _bsbl_overrides(bsbl, max_iter, tol)
+    gmat = xp.asarray(ops.gram(), dtype=dtype) / noise_var
+    b_stack = (ops.a.T @ y_stack).T / noise_var
+    info = {
+        "noise_var": float(noise_var),
+        "block_len": float(em.block_len),
+        "batch": float(y_stack.shape[1]),
+        "backend": settings.label,
+    }
+    return _solve_bsbl_stack(
+        ops, y_stack, gmat, b_stack, em, alpha0, xp, dtype,
+        "bsbl-bo-batch", info,
+    )
+
+
+def solve_bsbl_dequant_batch(
+    problem: CsProblem,
+    ys: Sequence[ndarray],
+    noise_var: float,
+    x_mids: Sequence[ndarray],
+    quant_var: float,
+    *,
+    bsbl: Optional[BsblSettings] = None,
+    alpha0: Optional[ndarray] = None,
+    max_iter: Optional[int] = None,
+    tol: Optional[float] = None,
+    settings: Optional[BackendSettings] = None,
+) -> List[RecoveryResult]:
+    """Vectorized :func:`~repro.recovery.bsbl.solve_bsbl_dequant`.
+
+    ``x_mids`` holds one low-res cell-midpoint vector per window (same
+    centered units as the solver domain).  The analysis transforms run
+    per window on the host — bit-identical to the scalar path — and the
+    augmented information pair then feeds the shared batched EM kernel.
+    """
+    if noise_var <= 0:
+        raise ValueError("noise_var must be positive")
+    if quant_var <= 0:
+        raise ValueError("quant_var must be positive")
+    if len(x_mids) != len(ys):
+        raise ValueError("need one x_mid vector per measurement window")
+    _, xp, dtype, settings = resolve(settings)
+    y_stack = stack_measurements(problem, ys, settings=settings)
+    ops = operators_for(problem, settings)
+    em = _bsbl_overrides(bsbl, max_iter, tol)
+    host = HOST.xp
+    c_cols = []
+    for j, x_mid in enumerate(x_mids):
+        arr = host.asarray(x_mid, dtype=host.float64)
+        if arr.shape != (problem.n,):
+            raise ValueError(
+                f"window {j}: expected {problem.n} midpoints, got shape {arr.shape}"
+            )
+        c_cols.append(problem.basis.analyze(arr))
+    c_stack = xp.asarray(host.stack(c_cols, axis=0), dtype=dtype)
+    gmat = (
+        xp.asarray(ops.gram(), dtype=dtype) / noise_var
+        + xp.eye(problem.n, dtype=dtype) / quant_var
+    )
+    b_stack = (ops.a.T @ y_stack).T / noise_var + c_stack / quant_var
+    info = {
+        "noise_var": float(noise_var),
+        "quant_var": float(quant_var),
+        "block_len": float(em.block_len),
+        "batch": float(y_stack.shape[1]),
+        "backend": settings.label,
+    }
+    return _solve_bsbl_stack(
+        ops, y_stack, gmat, b_stack, em, alpha0, xp, dtype,
+        "bsbl-bo-dequant-batch", info,
+    )
+
+
 def solve_batch(
     problem: CsProblem,
     ys: Sequence[ndarray],
@@ -361,6 +590,10 @@ def solve_batch(
     method: str = "admm",
     sigma: Optional[float] = None,
     lam: Optional[float] = None,
+    noise_var: Optional[float] = None,
+    x_mids: Optional[Sequence[ndarray]] = None,
+    quant_var: Optional[float] = None,
+    bsbl: Optional[BsblSettings] = None,
     alpha0: Optional[ndarray] = None,
     max_iter: Optional[int] = None,
     tol: Optional[float] = None,
@@ -369,8 +602,10 @@ def solve_batch(
     """One batched solve over a window stack, dispatching on ``method``.
 
     ``method="admm"`` solves BPDN (needs ``sigma``); ``method="fista"``
-    solves the LASSO (needs ``lam``).  Unset iteration controls fall back
-    to each solver's own defaults.
+    solves the LASSO (needs ``lam``); ``method="bsbl"`` runs the
+    Bayesian family (needs ``noise_var``) and ``method="bsbl-dequant"``
+    additionally takes the low-res channel (``x_mids``, ``quant_var``).
+    Unset iteration controls fall back to each solver's own defaults.
     """
     kwargs: dict = {"settings": settings}
     if max_iter is not None:
@@ -385,6 +620,21 @@ def solve_batch(
         if lam is None:
             raise ValueError("method 'fista' needs lam")
         return solve_fista_batch(problem, ys, lam, alpha0=alpha0, **kwargs)
+    if method == "bsbl":
+        if noise_var is None:
+            raise ValueError("method 'bsbl' needs noise_var")
+        return solve_bsbl_batch(
+            problem, ys, noise_var, bsbl=bsbl, alpha0=alpha0, **kwargs
+        )
+    if method == "bsbl-dequant":
+        if noise_var is None:
+            raise ValueError("method 'bsbl-dequant' needs noise_var")
+        if x_mids is None or quant_var is None:
+            raise ValueError("method 'bsbl-dequant' needs x_mids and quant_var")
+        return solve_bsbl_dequant_batch(
+            problem, ys, noise_var, x_mids, quant_var,
+            bsbl=bsbl, alpha0=alpha0, **kwargs,
+        )
     raise ValueError(f"unknown batch method {method!r}")
 
 
@@ -400,6 +650,10 @@ def recover_windows(
     method: str = "admm",
     sigma: Optional[float] = None,
     lam: Optional[float] = None,
+    noise_var: Optional[float] = None,
+    x_mids: Optional[Sequence[ndarray]] = None,
+    quant_var: Optional[float] = None,
+    bsbl: Optional[BsblSettings] = None,
     batch_size: int = 32,
     warm_start: bool = True,
     max_iter: Optional[int] = None,
@@ -415,14 +669,18 @@ def recover_windows(
     a pure function of the window sequence, so results are deterministic
     regardless of hardware or timing.  Warm-start carries are host
     float64 regardless of ``settings``; each chunk re-casts them to the
-    engine dtype.
+    engine dtype.  For ``method="bsbl-dequant"`` the per-window
+    ``x_mids`` sequence is chunked in lockstep with ``ys``.
     """
     if batch_size < 1:
         raise ValueError("batch_size must be positive")
+    if x_mids is not None and len(x_mids) != len(ys):
+        raise ValueError("need one x_mid vector per measurement window")
     results: List[RecoveryResult] = []
     carry: Optional[ndarray] = None
     for chunk in _chunks(len(ys), batch_size):
         batch = [ys[j] for j in chunk]
+        mids = None if x_mids is None else [x_mids[j] for j in chunk]
         alpha0 = carry if warm_start else None
         solved = solve_batch(
             problem,
@@ -430,6 +688,10 @@ def recover_windows(
             method=method,
             sigma=sigma,
             lam=lam,
+            noise_var=noise_var,
+            x_mids=mids,
+            quant_var=quant_var,
+            bsbl=bsbl,
             alpha0=alpha0,
             max_iter=max_iter,
             tol=tol,
@@ -447,6 +709,10 @@ def recover_windows_loop(
     method: str = "admm",
     sigma: Optional[float] = None,
     lam: Optional[float] = None,
+    noise_var: Optional[float] = None,
+    x_mids: Optional[Sequence[ndarray]] = None,
+    quant_var: Optional[float] = None,
+    bsbl: Optional[BsblSettings] = None,
     batch_size: int = 32,
     warm_start: bool = True,
     max_iter: Optional[int] = None,
@@ -465,6 +731,8 @@ def recover_windows_loop(
     """
     if batch_size < 1:
         raise ValueError("batch_size must be positive")
+    if x_mids is not None and len(x_mids) != len(ys):
+        raise ValueError("need one x_mid vector per measurement window")
     results: List[RecoveryResult] = []
     carry: Optional[ndarray] = None
     kwargs: dict = {}
@@ -472,6 +740,7 @@ def recover_windows_loop(
         kwargs["max_iter"] = max_iter
     if tol is not None:
         kwargs["tol"] = tol
+    em = _bsbl_overrides(bsbl, max_iter, tol)
     for chunk in _chunks(len(ys), batch_size):
         chunk_carry = carry if warm_start else None
         for j in chunk:
@@ -499,6 +768,36 @@ def recover_windows_loop(
                     problem=prob_arg,
                     alpha0=chunk_carry,
                     **kwargs,
+                )
+            elif method == "bsbl":
+                if noise_var is None:
+                    raise ValueError("method 'bsbl' needs noise_var")
+                result = solve_bsbl(
+                    problem.phi,
+                    problem.basis,
+                    ys[j],
+                    noise_var,
+                    settings=em,
+                    problem=prob_arg,
+                    alpha0=chunk_carry,
+                )
+            elif method == "bsbl-dequant":
+                if noise_var is None:
+                    raise ValueError("method 'bsbl-dequant' needs noise_var")
+                if x_mids is None or quant_var is None:
+                    raise ValueError(
+                        "method 'bsbl-dequant' needs x_mids and quant_var"
+                    )
+                result = solve_bsbl_dequant(
+                    problem.phi,
+                    problem.basis,
+                    ys[j],
+                    noise_var,
+                    x_mids[j],
+                    quant_var,
+                    settings=em,
+                    problem=prob_arg,
+                    alpha0=chunk_carry,
                 )
             else:
                 raise ValueError(f"unknown batch method {method!r}")

@@ -35,10 +35,11 @@ contract is untouched.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.backend import BackendSettings, get_backend
+from repro.recovery.bsbl import BsblSettings
 from repro.recovery.problem import CsProblem
 from repro.sensing.matrices import SensingSpec
 from repro.wavelets.operators import SynthesisBasis, make_basis
@@ -104,6 +105,7 @@ class OperatorSet:
         self.backend = get_backend(settings.name)
         self.dtype = self.backend.dtype(settings.precision)
         self._a = None
+        self._gram = None
         self._admm_factor = None
 
     @property
@@ -120,6 +122,22 @@ class OperatorSet:
         """``||A||_2^2`` (scalar step sizes stay host floats everywhere)."""
         return self.problem.opnorm_sq()
 
+    def gram(self):
+        """The Gram matrix ``AᵀA`` on this backend/precision; ``(n, n)``.
+
+        The block-structured Bayesian solvers build their information
+        matrix from this each solve, so it is memoized per operator set —
+        exactly once per ``(problem, backend, precision)``, like the ADMM
+        factor.  The exact path delegates to the problem's own cached
+        Gram, so scalar and batched BSBL share one bit-identical matrix.
+        """
+        if self.settings.is_exact:
+            return self.problem.gram()
+        if self._gram is None:
+            a = self.a
+            self._gram = a.T @ a
+        return self._gram
+
     def admm_factor(self):
         """Cholesky factor of ``I + AᵀA`` in this backend/precision."""
         if self.settings.is_exact:
@@ -127,9 +145,8 @@ class OperatorSet:
         if self._admm_factor is None:
             xp = self.backend.xp
             a = self.a
-            gram = a.T @ a
             self._admm_factor = self.backend.cho_factor(
-                xp.eye(a.shape[1], dtype=self.dtype) + gram
+                xp.eye(a.shape[1], dtype=self.dtype) + self.gram()
             )
         return self._admm_factor
 
@@ -276,11 +293,15 @@ class RecoveryEngineSettings:
     batch_size:
         Windows per stack in the batched solver engine
         (:mod:`repro.recovery.batched`).
+    bsbl:
+        EM knobs for the Bayesian recovery family
+        (:mod:`repro.recovery.bsbl`); ignored by the convex methods.
     """
 
     cache_problems: bool = True
     warm_start_streams: bool = True
     batch_size: int = 32
+    bsbl: BsblSettings = field(default_factory=BsblSettings)
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:

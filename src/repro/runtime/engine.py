@@ -27,6 +27,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.codebooks import CodebookKey
 from repro.core.config import FrontEndConfig
 from repro.core.outcomes import RecordOutcome
+from repro.recovery.methods import resolve_method
 from repro.runtime.executors import Executor, SerialExecutor
 from repro.runtime.stages import STAGE_NAMES
 from repro.runtime.task import CodebookSpec, WindowTask, task_seed
@@ -50,10 +51,12 @@ class RecordJob:
     config:
         Shared link configuration.
     method:
-        ``"hybrid"`` or ``"normal"``.
+        A registered recovery-method name (see
+        :func:`repro.recovery.methods.method_names`).
     codebook:
         Optional codebook spec.  ``None`` means "use the default trained
-        codebook" for hybrid jobs and "no codebook" for normal jobs.
+        codebook" for methods that consume the low-res path and "no
+        codebook" for measurements-only methods.
     max_windows:
         Cap on processed windows (None = all full windows).
     """
@@ -65,14 +68,13 @@ class RecordJob:
     max_windows: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if self.method not in ("hybrid", "normal"):
-            raise ValueError(f"unknown method {self.method!r}")
+        resolve_method(self.method)
         if self.max_windows is not None and self.max_windows < 1:
             raise ValueError("max_windows must be positive when given")
 
     def resolved_codebook_spec(self) -> CodebookSpec:
         """The concrete codebook spec this job's tasks will carry."""
-        if self.method == "normal":
+        if not resolve_method(self.method).uses_lowres:
             return CodebookSpec.none()
         if self.codebook is not None:
             return self.codebook

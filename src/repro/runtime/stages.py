@@ -41,6 +41,7 @@ from repro.core.outcomes import WindowOutcome
 from repro.core.packets import WindowPacket
 from repro.core.receiver import HybridReceiver, WindowReconstruction
 from repro.metrics.quality import prd as prd_metric
+from repro.recovery.methods import resolve_method
 from repro.runtime.task import CodebookSpec, WindowTask
 
 __all__ = [
@@ -75,17 +76,18 @@ class Link(NamedTuple):
 def _build_link(
     config: FrontEndConfig, method: str, spec: CodebookSpec
 ) -> Link:
+    mspec = resolve_method(method)
     codebook = spec.resolve()
-    if method == "hybrid":
+    if mspec.uses_lowres:
         if codebook is None:
-            raise ValueError("hybrid tasks need a codebook spec")
+            raise ValueError(f"method {method!r} tasks need a codebook spec")
         return Link(
             frontend=HybridFrontEnd(config, codebook),
-            receiver=HybridReceiver(config, codebook),
+            receiver=HybridReceiver(config, codebook, method=method),
         )
     return Link(
         frontend=NormalCsFrontEnd(config),
-        receiver=HybridReceiver(config),
+        receiver=HybridReceiver(config, method=method),
     )
 
 

@@ -19,6 +19,7 @@ import numpy as np
 from repro.coding.codebook import DifferenceCodebook
 from repro.core.codebooks import CodebookKey, build_codebook
 from repro.core.config import FrontEndConfig
+from repro.recovery.methods import resolve_method
 
 __all__ = ["CodebookSpec", "WindowTask", "task_seed"]
 
@@ -100,7 +101,8 @@ class WindowTask:
     record_name:
         Name of the source record (labelling and seeding only).
     method:
-        ``"hybrid"`` or ``"normal"``.
+        A registered recovery-method name (see
+        :func:`repro.recovery.methods.method_names`).
     window_index:
         Index of this window within its record.
     codes:
@@ -122,7 +124,6 @@ class WindowTask:
     seed: int
 
     def __post_init__(self) -> None:
-        if self.method not in ("hybrid", "normal"):
-            raise ValueError(f"unknown method {self.method!r}")
+        resolve_method(self.method)
         if self.window_index < 0:
             raise ValueError("window_index cannot be negative")

@@ -32,6 +32,7 @@ from repro.core.frontend import HybridFrontEnd, NormalCsFrontEnd
 from repro.core.packets import WindowPacket
 from repro.core.windowing import WindowFramer
 from repro.devtools.contracts import check_dtype, check_shape
+from repro.recovery.methods import resolve_method
 from repro.runtime.task import CodebookSpec
 
 __all__ = ["StreamFrame", "IngestSession", "codebook_spec_for"]
@@ -49,9 +50,7 @@ def codebook_spec_for(
     offline state as a batch job under the same config — the root of the
     bit-identity guarantee.
     """
-    if method not in ("hybrid", "normal"):
-        raise ValueError(f"unknown method {method!r}")
-    if method == "normal":
+    if not resolve_method(method).uses_lowres:
         return CodebookSpec.none()
     if codebook is not None:
         return CodebookSpec.from_object(codebook)
@@ -104,7 +103,9 @@ class IngestSession:
     config:
         Shared link configuration (same object the receiver uses).
     method:
-        ``"hybrid"`` (CS + low-res) or ``"normal"`` (CS only).
+        A registered recovery-method name; methods that consume the
+        low-res path (``"hybrid"``, ``"bsbl-dequant"``) transmit through
+        the hybrid front-end, the rest are CS-only.
     codebook:
         Explicit difference codebook; the default trained codebook for
         the config's resolutions is used when omitted (hybrid only).
@@ -127,7 +128,7 @@ class IngestSession:
         self.method = method
         self.codebook_spec = codebook_spec_for(config, method, codebook)
         self.carry_reference = bool(carry_reference)
-        if method == "hybrid":
+        if resolve_method(method).uses_lowres:
             resolved = self.codebook_spec.resolve()
             assert resolved is not None
             self._frontend = HybridFrontEnd(config, resolved)

@@ -39,6 +39,7 @@ from repro.core.config import FrontEndConfig
 from repro.core.packets import WindowPacket
 from repro.devtools.contracts import check_dtype, check_shape
 from repro.metrics.quality import prd as prd_metric
+from repro.recovery.methods import resolve_method
 from repro.runtime.stages import link_for_params, reference_centered
 from repro.runtime.task import CodebookSpec
 from repro.stream.ingest import StreamFrame, codebook_spec_for
@@ -84,8 +85,7 @@ class RecoveryTask:
     warm_start: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
-        if self.method not in ("hybrid", "normal"):
-            raise ValueError(f"unknown method {self.method!r}")
+        resolve_method(self.method)
         if self.window_index < 0:
             raise ValueError("window_index cannot be negative")
 

@@ -1,0 +1,130 @@
+"""The Bayesian-family benchmark: cells, gates, and agreement."""
+
+import pytest
+
+from repro.core.config import FrontEndConfig
+from repro.experiments.bayes_bench import (
+    AGREEMENT_TOLERANCE,
+    BayesBenchCell,
+    BsblAgreementCell,
+    bayes_bench_payload,
+    run_bayes_bench,
+    run_bsbl_agreement,
+)
+from repro.experiments.runner import ExperimentScale
+from repro.recovery.pdhg import PdhgSettings
+
+
+def _cell(method, cr, snr, prd=5.0):
+    return BayesBenchCell(
+        method=method,
+        cr_percent=cr,
+        n_measurements=32,
+        n_records=2,
+        n_windows=6,
+        mean_snr_db=snr,
+        mean_prd_percent=prd,
+    )
+
+
+class TestPayloadGates:
+    def test_comparison_picks_best_bayes_method(self):
+        cells = [
+            _cell("hybrid", 50.0, 25.0),
+            _cell("bsbl", 50.0, 24.0),
+            _cell("bsbl-dequant", 50.0, 27.0),
+        ]
+        payload = bayes_bench_payload(cells, smoke=True)
+        assert payload["schema"] == "repro-bench-bsbl/v1"
+        (row,) = payload["comparison"]
+        assert row["best_bayes_method"] == "bsbl-dequant"
+        assert row["bayes_gain_db"] == pytest.approx(2.0)
+        assert row["bayes_wins"]
+        assert payload["bayes_beats_hybrid"]
+        assert payload["bayes_wins_at"] == [50.0]
+
+    def test_no_win_turns_gate_off(self):
+        cells = [_cell("hybrid", 75.0, 25.0), _cell("bsbl", 75.0, 20.0)]
+        payload = bayes_bench_payload(cells, smoke=True)
+        assert not payload["bayes_beats_hybrid"]
+        assert payload["bayes_wins_at"] == []
+        assert payload["best_gain_db"] == pytest.approx(-5.0)
+
+    def test_cr_without_hybrid_baseline_is_skipped(self):
+        cells = [_cell("bsbl", 50.0, 24.0)]
+        payload = bayes_bench_payload(cells, smoke=True)
+        assert payload["comparison"] == []
+        assert payload["best_gain_db"] is None
+
+    def test_agreement_gate(self):
+        agree = [
+            BsblAgreementCell(
+                solver="bsbl", cr_percent=50.0, n_windows=4,
+                loop_s=1.0, batched_s=0.5, max_abs_alpha_dev=2e-9,
+            ),
+            BsblAgreementCell(
+                solver="bsbl-dequant", cr_percent=50.0, n_windows=4,
+                loop_s=1.0, batched_s=0.5, max_abs_alpha_dev=5e-11,
+            ),
+        ]
+        payload = bayes_bench_payload([], agree, smoke=True)
+        gate = payload["agreement"]
+        assert gate["max_abs_alpha_dev"] == pytest.approx(2e-9)
+        assert gate["tolerance"] == AGREEMENT_TOLERANCE
+        assert gate["within_tolerance"]
+        assert gate["cells"][0]["speedup"] == pytest.approx(2.0)
+
+    def test_agreement_gate_trips_over_tolerance(self):
+        agree = [
+            BsblAgreementCell(
+                solver="bsbl", cr_percent=50.0, n_windows=4,
+                loop_s=1.0, batched_s=0.5, max_abs_alpha_dev=1e-6,
+            ),
+        ]
+        payload = bayes_bench_payload([], agree, smoke=True)
+        assert not payload["agreement"]["within_tolerance"]
+
+    def test_empty_agreement_is_null(self):
+        payload = bayes_bench_payload([], smoke=True)
+        assert payload["agreement"]["max_abs_alpha_dev"] is None
+        assert payload["agreement"]["within_tolerance"] is None
+
+
+class TestRunners:
+    """Small end-to-end runs: production dispatch, tiny instances."""
+
+    def _config(self):
+        return FrontEndConfig(
+            window_len=64,
+            n_measurements=32,
+            solver=PdhgSettings(max_iter=400, tol=1e-3),
+        )
+
+    def test_run_bayes_bench_produces_grid_cells(self):
+        cells = run_bayes_bench(
+            self._config(),
+            (50.0,),
+            methods=("hybrid", "bsbl"),
+            scale=ExperimentScale(
+                record_names=("100",), duration_s=5.0, max_windows=2
+            ),
+        )
+        assert [(c.method, c.cr_percent) for c in cells] == [
+            ("hybrid", 50.0), ("bsbl", 50.0),
+        ]
+        for c in cells:
+            assert c.n_records == 1
+            assert c.n_windows == 2
+            assert c.mean_prd_percent > 0
+
+    def test_run_bayes_bench_rejects_unknown_method(self):
+        with pytest.raises(ValueError, match="registered methods"):
+            run_bayes_bench(self._config(), (50.0,), methods=("bsbl-bo",))
+
+    def test_run_bsbl_agreement_within_tolerance(self):
+        cells = run_bsbl_agreement(
+            self._config(), (50.0,), n_windows=2, duration_s=5.0
+        )
+        assert {c.solver for c in cells} == {"bsbl", "bsbl-dequant"}
+        for c in cells:
+            assert c.max_abs_alpha_dev <= AGREEMENT_TOLERANCE

@@ -30,6 +30,15 @@ GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 GOLDEN_PATH = GOLDEN_DIR / "fig7_smoke.json"
 SCHEMA = "repro-golden-fig7/v1"
 
+#: The Bayesian-family fixture: same records/scale, BSBL methods on the
+#: CR points where measurements-only BSBL still operates (at 87.5% it
+#: legitimately collapses, which is the comparison's point, not a
+#: regression worth pinning).
+BSBL_GOLDEN_PATH = GOLDEN_DIR / "bsbl_smoke.json"
+BSBL_SCHEMA = "repro-golden-bsbl/v1"
+BSBL_METHODS = ("bsbl", "bsbl-dequant")
+BSBL_CR_VALUES = (50.0, 75.0)
+
 #: Relative tolerance on PRD/SNR agreement (see module docstring).
 RTOL = 2e-3
 
@@ -38,6 +47,7 @@ RECORDS = ("100", "101")
 CR_VALUES = (75.0, 87.5)
 DURATION_S = 10.0
 MAX_WINDOWS = 3
+FIG7_METHODS = ("hybrid", "normal")
 
 
 def golden_config() -> FrontEndConfig:
@@ -51,15 +61,27 @@ def golden_config() -> FrontEndConfig:
     )
 
 
-def compute_points():
+def expected_grid(methods, cr_values=CR_VALUES):
+    """The grid metadata a fixture must match exactly."""
+    return {
+        "records": list(RECORDS),
+        "cr_values": list(cr_values),
+        "duration_s": DURATION_S,
+        "max_windows": MAX_WINDOWS,
+        "window_len": golden_config().window_len,
+        "methods": list(methods),
+    }
+
+
+def compute_points(methods=FIG7_METHODS, cr_values=CR_VALUES):
     """Solve the golden grid; returns JSON-ready per-point dicts."""
     scale = ExperimentScale(
         record_names=RECORDS, duration_s=DURATION_S, max_windows=MAX_WINDOWS
     )
     points = sweep_compression_ratios(
         golden_config(),
-        cr_values=CR_VALUES,
-        methods=("hybrid", "normal"),
+        cr_values=cr_values,
+        methods=methods,
         scale=scale,
         cache=False,
     )
@@ -78,7 +100,12 @@ def compute_points():
     return rows
 
 
-def load_golden(path: Path = GOLDEN_PATH):
+def load_golden(
+    path: Path = GOLDEN_PATH,
+    schema: str = SCHEMA,
+    methods=FIG7_METHODS,
+    cr_values=CR_VALUES,
+):
     """Load and validate a golden fixture file.
 
     Checks the schema tag, the grid parameters and per-point structure so
@@ -86,19 +113,13 @@ def load_golden(path: Path = GOLDEN_PATH):
     confusing numeric mismatch later.
     """
     data = json.loads(path.read_text())
-    if data.get("schema") != SCHEMA:
+    if data.get("schema") != schema:
         raise ValueError(f"unexpected golden schema: {data.get('schema')!r}")
     grid = data.get("grid", {})
-    expected_grid = {
-        "records": list(RECORDS),
-        "cr_values": list(CR_VALUES),
-        "duration_s": DURATION_S,
-        "max_windows": MAX_WINDOWS,
-        "window_len": golden_config().window_len,
-    }
-    if grid != expected_grid:
+    expected = expected_grid(methods, cr_values)
+    if grid != expected:
         raise ValueError(
-            f"golden grid mismatch: fixture {grid} != expected {expected_grid}"
+            f"golden grid mismatch: fixture {grid} != expected {expected}"
         )
     points = data.get("points")
     required = {
@@ -115,18 +136,17 @@ def load_golden(path: Path = GOLDEN_PATH):
     return points
 
 
-def write_golden(path: Path = GOLDEN_PATH) -> None:
-    """Regenerate the fixture file from the current pipeline."""
+def write_golden(
+    path: Path = GOLDEN_PATH,
+    schema: str = SCHEMA,
+    methods=FIG7_METHODS,
+    cr_values=CR_VALUES,
+) -> None:
+    """Regenerate a fixture file from the current pipeline."""
     payload = {
-        "schema": SCHEMA,
-        "grid": {
-            "records": list(RECORDS),
-            "cr_values": list(CR_VALUES),
-            "duration_s": DURATION_S,
-            "max_windows": MAX_WINDOWS,
-            "window_len": golden_config().window_len,
-        },
-        "points": compute_points(),
+        "schema": schema,
+        "grid": expected_grid(methods, cr_values),
+        "points": compute_points(methods, cr_values),
     }
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload, indent=2) + "\n")
@@ -189,11 +209,69 @@ class TestGoldenRegression:
                 assert hybrid["mean_snr_db"] > normal["mean_snr_db"]
 
 
+class TestBsblGolden:
+    """The Bayesian-family fixture: same grid, BSBL methods.
+
+    Pins the full dispatch path (engine → receiver → EM solver) for
+    ``"bsbl"`` and ``"bsbl-dequant"`` so a prior tweak, a gamma-rule
+    change or an information-form bug shows up as quality drift."""
+
+    @pytest.fixture(scope="class")
+    def computed(self):
+        return {
+            (r["record"], r["cr_percent"], r["method"]): r
+            for r in compute_points(BSBL_METHODS, BSBL_CR_VALUES)
+        }
+
+    def test_fixture_loads_and_validates(self):
+        points = load_golden(
+            BSBL_GOLDEN_PATH, BSBL_SCHEMA, BSBL_METHODS, BSBL_CR_VALUES
+        )
+        # 2 records x 2 CRs x 2 methods
+        assert len(points) == 8
+
+    def test_quality_matches_fixture(self, computed):
+        golden = load_golden(
+            BSBL_GOLDEN_PATH, BSBL_SCHEMA, BSBL_METHODS, BSBL_CR_VALUES
+        )
+        assert len(golden) == len(computed)
+        for point in golden:
+            key = (point["record"], point["cr_percent"], point["method"])
+            assert key in computed, f"grid point {key} not computed"
+            got = computed[key]
+            assert got["mean_prd_percent"] == pytest.approx(
+                point["mean_prd_percent"], rel=RTOL
+            ), f"PRD drift at {key}"
+            assert got["mean_snr_db"] == pytest.approx(
+                point["mean_snr_db"], rel=RTOL
+            ), f"SNR drift at {key}"
+
+    def test_dequant_beats_plain_bsbl_on_fixture(self):
+        """Sanity on the committed numbers: the low-res channel is extra
+        information, so de-quantization must beat measurements-only BSBL
+        at every golden grid point."""
+        golden = {
+            (p["record"], p["cr_percent"], p["method"]): p
+            for p in load_golden(
+                BSBL_GOLDEN_PATH, BSBL_SCHEMA, BSBL_METHODS, BSBL_CR_VALUES
+            )
+        }
+        for record in RECORDS:
+            for cr in BSBL_CR_VALUES:
+                dequant = golden[(record, cr, "bsbl-dequant")]
+                plain = golden[(record, cr, "bsbl")]
+                assert dequant["mean_snr_db"] > plain["mean_snr_db"]
+
+
 if __name__ == "__main__":
     import sys
 
     if "--regen" in sys.argv:
         write_golden()
         print(f"wrote {GOLDEN_PATH}")
+        write_golden(
+            BSBL_GOLDEN_PATH, BSBL_SCHEMA, BSBL_METHODS, BSBL_CR_VALUES
+        )
+        print(f"wrote {BSBL_GOLDEN_PATH}")
     else:
-        print("pass --regen to rewrite the golden fixture")
+        print("pass --regen to rewrite the golden fixtures")

@@ -68,6 +68,42 @@ class TestBenchSweepSection:
         assert "Engine throughput" not in markdown
 
 
+class TestBenchBsblSection:
+    def test_absent_artifact_renders_nothing(self, results_dir):
+        markdown, _, _ = build_report(results_dir)
+        assert "Bayesian recovery family" not in markdown
+
+    def test_present_artifact_renders_comparison(self, results_dir):
+        import json
+
+        (results_dir / "BENCH_bsbl.json").write_text(json.dumps({
+            "cells": [
+                {"method": "hybrid", "cr_percent": 50.0,
+                 "mean_snr_db": 25.7, "mean_prd_percent": 5.3},
+                {"method": "bsbl-dequant", "cr_percent": 50.0,
+                 "mean_snr_db": 27.3, "mean_prd_percent": 4.4},
+            ],
+            "comparison": [
+                {"cr_percent": 50.0, "best_bayes_method": "bsbl-dequant",
+                 "bayes_gain_db": 1.64, "bayes_wins": True},
+            ],
+            "agreement": {
+                "max_abs_alpha_dev": 1.1e-9, "tolerance": 1e-8,
+                "within_tolerance": True,
+            },
+        }))
+        markdown, present, _ = build_report(results_dir)
+        assert present == 2  # informational, not a coverage artifact
+        assert "## Bayesian recovery family (`repro bench`)" in markdown
+        assert "`bsbl-dequant` beats hybrid by +1.64 dB" in markdown
+        assert "max |dalpha| 1.10e-09" in markdown
+
+    def test_corrupt_artifact_ignored(self, results_dir):
+        (results_dir / "BENCH_bsbl.json").write_text("{broken")
+        markdown, _, _ = build_report(results_dir)
+        assert "Bayesian recovery family" not in markdown
+
+
 class TestWriteReport:
     def test_default_location(self, results_dir):
         out = write_report(results_dir)

@@ -139,6 +139,52 @@ class TestProblemForConfig:
         assert problem_for_config(config, cache=cache) is a
 
 
+class TestMixedMethodSweepCounters:
+    """A mixed convex+Bayesian sweep shares one operator set per
+    (problem, backend, precision): the Gram/factorization memos built for
+    ADMM are the same objects BSBL's information matrix reads, so adding
+    a method to a sweep costs operator *hits*, never rebuilds."""
+
+    def test_operator_counters_across_mixed_sweep(self):
+        from repro.backend import BackendSettings
+        from repro.recovery.batched import recover_windows
+
+        PROBLEM_CACHE.clear()
+        rng = np.random.default_rng(0)
+        base = FrontEndConfig(window_len=64, n_measurements=32)
+        problems = []
+        for m in (32, 16):
+            config = base.with_measurements(m)
+            problem = problem_for_config(config)
+            problems.append(problem)
+            ys = [
+                problem.measure_signal(rng.standard_normal(64))
+                for _ in range(3)
+            ]
+            recover_windows(problem, ys, method="admm", sigma=1.0, max_iter=5)
+            recover_windows(
+                problem, ys, method="bsbl", noise_var=1.0 / 12, max_iter=5
+            )
+            recover_windows(problem, ys, method="fista", lam=1.0, max_iter=5)
+
+        stats = PROBLEM_CACHE.stats()
+        # One problem build per CR; every method run reuses it.
+        assert stats["misses"] == 2
+        assert stats["size"] == 2
+        # One operator set per (problem, backend): first method misses,
+        # the other two hit — per CR.
+        assert stats["operator_sets"] == 2
+        assert stats["operator_misses"] == 2
+        assert stats["operator_hits"] == 4
+
+        # The exact-path set exposes the problem's own Gram memo, so the
+        # matrix BSBL normalized was the one ADMM factorized.
+        for problem in problems:
+            ops = PROBLEM_CACHE.operators(problem, BackendSettings())
+            assert ops.gram() is problem.gram()
+        assert PROBLEM_CACHE.stats()["operator_hits"] == 6
+
+
 class TestRecoveryEngineSettings:
     def test_defaults_on(self):
         settings = RecoveryEngineSettings()

@@ -7,7 +7,12 @@ Randomized instances of the paper's convex programs, checking the
 * hybrid (Eq. 1) solutions satisfy the box elementwise to solver
   tolerance;
 * monotone-restart FISTA's composite objective never increases across
-  accepted iterates — including the iterates right after a restart.
+  accepted iterates — including the iterates right after a restart;
+* BSBL-BO posterior means fit the data to within the noise ball, its
+  fixed-``B`` EM evidence is monotone non-increasing, the Bayesian
+  de-quantization solution stays within one quantizer cell of the
+  Eq. 1 box solution, and the batched EM engine matches its scalar
+  oracle to 1e-8 across CRs and warm-start states.
 
 Marked ``property`` so `make test-fast` can skip them locally; CI always
 runs them.  Instances are kept small (n = 64) so the whole suite stays
@@ -19,7 +24,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.recovery.batched import solve_bsbl_batch
 from repro.recovery.bpdn import solve_bpdn
+from repro.recovery.bsbl import BsblSettings, solve_bsbl, solve_bsbl_dequant
 from repro.recovery.fista import lambda_max, solve_fista
 from repro.recovery.hybrid import solve_hybrid
 from repro.recovery.pdhg import PdhgSettings
@@ -143,3 +150,122 @@ def test_fista_restart_never_hurts_final_objective(seed, lam_frac):
         adaptive_restart=True, objective_history=history,
     )
     assert history[-1] <= history[0] + 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Bayesian family (BSBL-BO and de-quantization)
+
+#: Shared EM settings for the property instances: a block length that
+#: divides n = 64 and a tolerance tight enough that the asserted bounds
+#: reflect the fixed point, not early stopping.
+_BSBL = BsblSettings(block_len=8, max_iter=200, tol=1e-6)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    m=st.integers(min_value=24, max_value=48),
+    k=st.integers(min_value=2, max_value=8),
+)
+def test_bsbl_residual_bounded_by_noise(seed, m, k):
+    """The BSBL posterior mean must fit the data to within the noise
+    ball: an MAP trade-off that underfits by more than a small multiple
+    of ``E||v|| = noise * sqrt(m)`` means the evidence maximization
+    collapsed a live block (calibration sits near 0.9x)."""
+    noise = 0.02
+    problem, _, y = _instance(seed, m, k, noise=noise)
+    result = solve_bsbl(
+        problem.phi, _BASIS, y, noise**2, settings=_BSBL, problem=problem
+    )
+    assert result.residual_norm <= 3.0 * noise * np.sqrt(m)
+    assert result.converged or result.iterations == _BSBL.max_iter
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    m=st.integers(min_value=20, max_value=48),
+    box_width=st.floats(min_value=0.5, max_value=4.0),
+)
+def test_bsbl_dequant_within_one_cell_of_box_solution(seed, m, box_width):
+    """The soft de-quantization likelihood must agree with the hard
+    Eq. 1 box to quantizer resolution: the reconstruction stays within
+    one cell of the box *solution* elementwise, and violates the box
+    itself by less than one cell (the Gaussian relaxation's slack)."""
+    problem, x, y = _instance(seed, m, k=6, noise=0.01)
+    lower = np.floor(x / box_width) * box_width
+    upper = lower + box_width
+    x_mid = (lower + upper) / 2.0
+    quant_var = box_width**2 / 12.0
+    result = solve_bsbl_dequant(
+        problem.phi, _BASIS, y, 0.01**2, x_mid, quant_var,
+        settings=_BSBL, problem=problem,
+    )
+    x_dq = _BASIS.synthesize(result.alpha)
+    assert np.all(x_dq >= lower - box_width)
+    assert np.all(x_dq <= upper + box_width)
+
+    sigma = 0.1 * float(np.linalg.norm(y))
+    box = solve_hybrid(
+        problem.phi, _BASIS, y, sigma, lower, upper,
+        settings=PdhgSettings(max_iter=3000, tol=1e-6), problem=problem,
+    )
+    x_box = _BASIS.synthesize(box.alpha)
+    assert np.max(np.abs(x_dq - x_box)) <= box_width
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    m=st.integers(min_value=24, max_value=48),
+    k=st.integers(min_value=2, max_value=8),
+)
+def test_bsbl_em_objective_monotone(seed, m, k):
+    """With the intra-block correlation fixed, every BO/EM step provably
+    decreases the negative log evidence — the recorded history must be
+    non-increasing to accumulation noise (the objective is evaluated
+    *before* each gamma update, so entry ``t`` is the true cost at the
+    iterate it labels)."""
+    problem, _, y = _instance(seed, m, k, noise=0.02)
+    fixed_b = BsblSettings(
+        block_len=8, max_iter=200, tol=1e-8, learn_correlation=False
+    )
+    result = solve_bsbl(
+        problem.phi, _BASIS, y, 0.02**2, settings=fixed_b, problem=problem
+    )
+    history = np.asarray(result.info["objective_history"])
+    assert history.size == result.iterations
+    tol = 1e-9 * max(abs(history[0]), 1.0)
+    assert np.all(np.diff(history) <= tol)
+
+
+@pytest.mark.parametrize("warm", (False, True), ids=("cold", "warm"))
+@pytest.mark.parametrize("cr", (25.0, 50.0, 75.0))
+def test_bsbl_batched_matches_scalar(cr, warm):
+    """The batched EM engine is the scalar solver's arithmetic reordered:
+    across the CR grid and both warm-start states, every coefficient
+    agrees to 1e-8 (measured: BLAS-rounding level)."""
+    m = int(round(N * (1.0 - cr / 100.0)))
+    rng = np.random.default_rng(int(cr) * 10 + warm)
+    phi = bernoulli_matrix(m, N, seed=5)
+    problem = CsProblem(phi, _BASIS)
+    ys, alpha0s = [], []
+    for _ in range(5):
+        alpha = np.zeros(N)
+        alpha[rng.choice(N, 6, replace=False)] = rng.standard_normal(6) * 2.0
+        y = phi @ _BASIS.synthesize(alpha) + 0.02 * rng.standard_normal(m)
+        ys.append(y)
+        alpha0s.append(problem.matched_filter(y) * 0.1)
+    alpha0 = np.stack(alpha0s, axis=1) if warm else None
+
+    batched = solve_bsbl_batch(
+        problem, ys, 0.02**2, bsbl=_BSBL, alpha0=alpha0
+    )
+    for j, (y, result) in enumerate(zip(ys, batched)):
+        scalar = solve_bsbl(
+            problem.phi, _BASIS, y, 0.02**2,
+            settings=_BSBL, problem=problem,
+            alpha0=alpha0[:, j] if warm else None,
+        )
+        assert np.max(np.abs(result.alpha - scalar.alpha)) <= 1e-8
+        assert result.iterations == scalar.iterations

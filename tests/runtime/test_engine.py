@@ -38,7 +38,7 @@ class TestStageGraph:
 
 class TestRecordJob:
     def test_rejects_unknown_method(self, record):
-        with pytest.raises(ValueError, match="unknown method"):
+        with pytest.raises(ValueError, match="registered methods"):
             RecordJob(record=record, config=FAST, method="magic")
 
     def test_rejects_bad_max_windows(self, record):
