@@ -14,7 +14,7 @@ has three parts:
   ``(name, precision)`` pair carried on ``FrontEndConfig`` and threaded
   through stages, sessions and the CLI (``--backend``/``--precision``);
 * the registry (:func:`get_backend` / :func:`resolve`) with the NumPy
-  reference always available and CuPy/torch behind lazy import +
+  reference always available and CuPy/numba/torch behind lazy import +
   capability detection.
 
 Dtype policy: NumPy at ``float64`` is the **exact** path — ``xp`` is
@@ -40,6 +40,7 @@ from repro.backend.registry import (
 from repro.backend.settings import PRECISIONS, BackendSettings
 from repro.backend.numpy_backend import NumpyBackend
 from repro.backend.cupy_backend import CupyBackend
+from repro.backend.numba_backend import NumbaBackend
 from repro.backend.torch_backend import TorchBackend
 
 __all__ = [
@@ -50,6 +51,7 @@ __all__ = [
     "ResolvedBackend",
     "NumpyBackend",
     "CupyBackend",
+    "NumbaBackend",
     "TorchBackend",
     "register_backend",
     "backend_names",

@@ -94,9 +94,62 @@ class ArrayBackend(abc.ABC):
         """
 
     @abc.abstractmethod
-    def cho_solve(self, factor: Any, b: Any) -> Any:
+    def cho_solve(self, factor: Any, b: Any, overwrite_b: bool = False) -> Any:
         """Solve ``A x = b`` given :meth:`cho_factor`'s output (``b`` may
-        be a multi-column right-hand-side stack, shape ``(n, k)``)."""
+        be a multi-column right-hand-side stack, shape ``(n, k)``).
+
+        ``overwrite_b=True`` permits — does not require — the backend to
+        clobber ``b`` as scratch (SciPy's ``potrs``-in-place path); the
+        solution values are identical either way.  Backends without an
+        in-place path accept and ignore the flag.
+        """
+
+    # -- out=-capable hot-loop operations ------------------------------------
+    # Protocol-level defaults cover any NumPy-compatible namespace; the
+    # engines route per-iteration temporaries into workspace buffers
+    # through these.  With ``out=None`` each is exactly the expression it
+    # replaces, so the fresh-allocation baseline shares the code path.
+
+    def matmul(self, a: Any, b: Any, out: Any = None) -> Any:
+        """``a @ b``, optionally accumulated into ``out``.
+
+        The ``out=`` form uses the same GEMM accumulation order as the
+        operator form — results are bit-identical, only the destination
+        allocation differs.
+        """
+        if out is None:
+            return self.xp.matmul(a, b)
+        return self.xp.matmul(a, b, out=out)
+
+    def solve(self, a: Any, b: Any, out: Any = None) -> Any:
+        """Batched ``a x = b`` (``xp.linalg.solve`` semantics).
+
+        ``out=`` avoids allocating the solution stack when the namespace
+        supports a destination; the default falls back to a solve plus
+        copy, which backends override when they can do better.
+        """
+        result = self.xp.linalg.solve(a, b)
+        if out is None:
+            return result
+        out[...] = result
+        return out
+
+    def soft_threshold(self, v: Any, threshold: Any, out: Any = None) -> Any:
+        """``sign(v) * max(|v| - threshold, 0)``, elementwise.
+
+        The shrinkage operator of FISTA/ADMM.  The ``out=`` form fuses
+        the pipeline into ``out`` (one sign temporary remains) and is
+        bit-identical to the expression form, signed zeros included.
+        """
+        xp = self.xp
+        if out is None:
+            return xp.sign(v) * xp.maximum(xp.abs(v) - threshold, 0.0)
+        sgn = xp.sign(v)
+        xp.abs(v, out=out)
+        out -= threshold
+        xp.maximum(out, 0.0, out=out)
+        out *= sgn
+        return out
 
     # -- signal/coding shims -----------------------------------------------
     @abc.abstractmethod

@@ -72,7 +72,11 @@ class CupyBackend(ArrayBackend):
         # cupy.linalg.cholesky and tag it for cho_solve.
         return (self._cupy.linalg.cholesky(a), True)
 
-    def cho_solve(self, factor: Any, b: Any) -> Any:  # pragma: no cover
+    def cho_solve(
+        self, factor: Any, b: Any, overwrite_b: bool = False
+    ) -> Any:  # pragma: no cover
+        # overwrite_b accepted for protocol parity; the triangular
+        # solves below always write fresh outputs.
         from cupyx.scipy.linalg import solve_triangular
 
         lower_factor, _ = factor

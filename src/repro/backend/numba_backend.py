@@ -1,0 +1,118 @@
+"""Optional Numba CPU JIT backend behind lazy import detection.
+
+Numba compiles scalar Python loops to native code, which is exactly the
+shape of the two kernels NumPy handles worst on this workload: the
+sequential ``first_order_iir`` recurrence (lfilter's Python/C boundary
+dominates at ECG window lengths) and the fused soft-threshold shrinkage
+(NumPy evaluates it as four temporaries; the JIT emits one pass).
+Everything else inherits from :class:`NumpyBackend` unchanged — ``xp``
+is still the ``numpy`` module, so the engines and the host boundary
+behave identically.
+
+Like CuPy/torch this is a gated optional dependency: the module never
+imports ``numba`` at import time, :meth:`NumbaBackend.available` probes
+lazily and never raises, and constructing the backend without numba
+installed raises :class:`BackendUnavailableError`.  The differential
+suite in ``tests/backend/test_numba_backend.py`` skips cleanly when
+numba is absent.
+
+Numerics: the JIT recurrence is the same double-precision arithmetic in
+the same order as the SciPy filter, but fused multiply-adds the
+compiler may emit can differ in the last ulp — so like every non-
+reference backend this is a fast path bounded by differential
+tolerances, never bit-for-bit guaranteed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+import numpy as np
+
+from repro.backend.base import BackendUnavailableError
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.registry import register_backend
+
+__all__ = ["NumbaBackend"]
+
+
+def _import_numba() -> Any:
+    try:
+        import numba
+    except Exception:  # pragma: no cover - exercised only without numba
+        return None
+    return numba
+
+
+#: Compiled kernels, built on first use so import stays free.
+_JIT: Dict[str, Callable[..., Any]] = {}
+
+
+def _kernels(numba: Any) -> Dict[str, Callable[..., Any]]:  # pragma: no cover
+    # Compiled only where numba is installed; the differential suite is
+    # the executable spec for both kernels.
+    if _JIT:
+        return _JIT
+
+    @numba.njit(cache=True)
+    def iir(gain, decay, u, out):
+        acc = 0.0
+        for k in range(u.shape[0]):
+            acc = gain * u[k] + decay * acc
+            out[k] = acc
+        return out
+
+    @numba.njit(cache=True)
+    def shrink(v, threshold, out):
+        for k in range(v.shape[0]):
+            mag = abs(v[k]) - threshold
+            if mag > 0.0:
+                out[k] = mag if v[k] > 0.0 else -mag
+            else:
+                # Keep numpy's signed-zero convention: sign(v) * 0.0.
+                out[k] = v[k] * 0.0
+        return out
+
+    _JIT["iir"] = iir
+    _JIT["shrink"] = shrink
+    return _JIT
+
+
+@register_backend
+class NumbaBackend(NumpyBackend):
+    """CPU JIT backend: NumPy namespace + compiled recurrence kernels."""
+
+    name = "numba"
+
+    @classmethod
+    def available(cls) -> bool:
+        return _import_numba() is not None
+
+    def __init__(self) -> None:
+        numba = _import_numba()
+        if numba is None:
+            raise BackendUnavailableError(
+                "numba backend needs the numba package installed"
+            )
+        self._numba = numba  # pragma: no cover - needs numba
+
+    def first_order_iir(
+        self, gain: float, decay: float, u: Any
+    ) -> np.ndarray:  # pragma: no cover - needs numba
+        """Compiled ``y[k] = gain*u[k] + decay*y[k-1]``; float64 ``(n,)``."""
+        u = np.asarray(u, dtype=np.float64)
+        out = np.empty_like(u)
+        return _kernels(self._numba)["iir"](float(gain), float(decay), u, out)
+
+    def soft_threshold(
+        self, v: Any, threshold: Any, out: Any = None
+    ) -> np.ndarray:  # pragma: no cover - needs numba
+        """Fused shrinkage, same shape as ``v`` (1-D float64 JIT path)."""
+        v = np.asarray(v)
+        if v.dtype != np.float64 or v.ndim != 1:
+            # The fused kernel covers the 1-D float64 hot shape; defer
+            # everything else to the reference formulation.
+            return super().soft_threshold(v, threshold, out=out)
+        if out is None:
+            out = np.empty_like(v)
+        return _kernels(self._numba)["shrink"](v, float(threshold), out)

@@ -158,9 +158,36 @@ class TorchBackend(ArrayBackend):
     def cho_factor(self, a: Any) -> Any:  # pragma: no cover
         return (self._torch.linalg.cholesky(a), True)
 
-    def cho_solve(self, factor: Any, b: Any) -> Any:  # pragma: no cover
+    def cho_solve(
+        self, factor: Any, b: Any, overwrite_b: bool = False
+    ) -> Any:  # pragma: no cover
+        # overwrite_b accepted for protocol parity; cholesky_solve
+        # always writes a fresh output tensor.
         lower_factor, _ = factor
         return self._torch.cholesky_solve(b, lower_factor, upper=False)
+
+    def matmul(self, a: Any, b: Any, out: Any = None) -> Any:  # pragma: no cover
+        if out is None:
+            return self._torch.matmul(a, b)
+        return self._torch.matmul(a, b, out=out)
+
+    def solve(self, a: Any, b: Any, out: Any = None) -> Any:  # pragma: no cover
+        if out is None:
+            return self._torch.linalg.solve(a, b)
+        return self._torch.linalg.solve(a, b, out=out)
+
+    def soft_threshold(
+        self, v: Any, threshold: Any, out: Any = None
+    ) -> Any:  # pragma: no cover
+        t = self._torch
+        if out is None:
+            return t.sign(v) * t.clamp(t.abs(v) - threshold, min=0.0)
+        sgn = t.sign(v)
+        t.abs(v, out=out)
+        out -= threshold
+        t.clamp(out, min=0.0, out=out)
+        out *= sgn
+        return out
 
     def first_order_iir(self, gain: float, decay: float, u: Any) -> Any:  # pragma: no cover
         # No torch lfilter in the base package: run the recurrence on

@@ -243,6 +243,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.runtime.stages import recovery_cache_stats
     from repro.stream.driver import StreamScenario, run_stream_scenario
 
+    if args.cache_size is not None:
+        from repro.recovery.opcache import PROBLEM_CACHE
+
+        PROBLEM_CACHE.resize(args.cache_size)
+
     records = tuple(args.records) if args.records else (
         ("100", "101") if args.smoke else ("100", "101", "103", "107")
     )
@@ -547,6 +552,64 @@ def _write_encode_bench(args, config, crs, record_name, backends=None) -> None:
     print(f"wrote {encode_out}")
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.config import FrontEndConfig
+    from repro.experiments.profile_bench import (
+        profile_bench_payload,
+        run_profile_bench,
+    )
+    from repro.perf import pool_stats
+    from repro.recovery.opcache import PROBLEM_CACHE
+    from repro.runtime.stages import recovery_cache_stats
+
+    if args.cache_size is not None:
+        PROBLEM_CACHE.resize(args.cache_size)
+
+    n_windows = args.windows if args.windows is not None else (
+        4 if args.smoke else 8
+    )
+    repeats = args.repeats if args.repeats is not None else (
+        2 if args.smoke else 3
+    )
+    config = FrontEndConfig(window_len=args.window)
+    cells, profiler_rows = run_profile_bench(
+        config,
+        cr_percent=args.cr,
+        record_name=args.record,
+        n_windows=n_windows,
+        duration_s=args.duration,
+        repeats=repeats,
+        solver_max_iter=60 if args.smoke else 120,
+        bsbl_max_iter=6 if args.smoke else 10,
+        synth_duration_s=2.0 if args.smoke else 4.0,
+    )
+    for c in cells:
+        print(
+            f"kernel {c.kernel:<7}: "
+            f"baseline {c.baseline_units_per_sec:9.1f} {c.units}/s | "
+            f"workspace {c.workspace_units_per_sec:9.1f} {c.units}/s | "
+            f"speedup {c.speedup:5.2f}x | "
+            f"alloc {c.baseline_alloc_bytes:>10} B -> "
+            f"{c.workspace_alloc_bytes:>4} B "
+            f"({c.alloc_reduction:9.0f}x) | "
+            f"max dev {c.max_abs_dev:.1e}"
+        )
+    payload = profile_bench_payload(
+        cells,
+        profiler_rows,
+        smoke=bool(args.smoke),
+        cache_stats=recovery_cache_stats(),
+        workspace_stats=pool_stats(),
+    )
+    out = Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     from repro.core.config import FrontEndConfig
     from repro.recovery.pdhg import PdhgSettings
@@ -818,8 +881,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bsbl-only", action="store_true",
                    help="run only the Bayesian-family comparison "
                         "(the `make bench-bsbl-smoke` configuration)")
+    p.add_argument("--cache-size", type=int, default=None,
+                   help="resize the process problem/operator LRU cache "
+                        "before benchmarking (entries beyond the new size "
+                        "are evicted oldest-first)")
     _add_backend_options(p)
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "profile",
+        help="workspace/allocation profile of the hot kernels; writes "
+             "BENCH_profile.json",
+    )
+    p.add_argument("--record", default="100", help="synthetic record name")
+    p.add_argument("--cr", type=float, default=50.0,
+                   help="CS-channel CR in percent for the solver kernels")
+    p.add_argument("--window", type=int, default=256)
+    p.add_argument("--windows", type=int, default=None,
+                   help="windows per solve stack (default 8, smoke 4)")
+    p.add_argument("--repeats", type=int, default=None,
+                   help="timed runs per arm (default 3, smoke 2)")
+    p.add_argument("--duration", type=float, default=30.0)
+    p.add_argument("--smoke", action="store_true",
+                   help="small fixed configuration "
+                        "(the `make profile-smoke` configuration)")
+    p.add_argument("--cache-size", type=int, default=None,
+                   help="resize the process problem/operator LRU cache "
+                        "before profiling")
+    p.add_argument("--output", "-o",
+                   default="benchmarks/results/BENCH_profile.json",
+                   help="where to write the machine-readable result")
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser(
         "stream",

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.backend import BackendSettings, HOST, ndarray, resolve
+from repro.perf import lease_workspace, profiled
 from repro.sensing.quantizers import UniformQuantizer
 
 __backend_seam__ = True
@@ -73,6 +74,7 @@ class EncodeEngineSettings:
             raise ValueError("boundary_guard must be in (0, 0.5)")
 
 
+@profiled("core.encode_batch")
 def measure_window_stack(
     phi: ndarray,
     quantizer: UniformQuantizer,
@@ -98,16 +100,27 @@ def measure_window_stack(
     if centered.ndim != 2:
         raise ValueError("expected a (windows, n) stack of centered windows")
     backend, _, dtype, settings = resolve(settings)
-    if settings.is_exact:
-        y = centered @ phi.T
-    else:
-        phi_dev = backend.asarray(phi, dtype=dtype)
-        centered_dev = backend.asarray(centered, dtype=dtype)
-        y = host.asarray(
-            backend.to_numpy(centered_dev @ phi_dev.T), dtype=host.float64
-        )
-    scaled = (y + quantizer.full_scale) / quantizer.step
-    near_edge = host.abs(scaled - host.rint(scaled)) < boundary_guard
-    for row in host.flatnonzero(near_edge.any(axis=1)):
-        y[row] = phi @ centered[row]
-    return quantizer.quantize(y)
+    w = centered.shape[0]
+    m = phi.shape[0]
+    # The guard pipeline always runs in host float64, so the workspace
+    # lease is pinned to the exact settings even on a fast-path GEMM.
+    with lease_workspace(None, f"encode:{m}x{phi.shape[1]}") as ws:
+        y = ws.buf("y", (w, m))
+        if settings.is_exact:
+            HOST.matmul(centered, phi.T, out=y)
+        else:
+            phi_dev = backend.asarray(phi, dtype=dtype)
+            centered_dev = backend.asarray(centered, dtype=dtype)
+            y[...] = backend.to_numpy(centered_dev @ phi_dev.T)
+        scaled = ws.buf("scaled", (w, m))
+        host.add(y, quantizer.full_scale, out=scaled)
+        scaled /= quantizer.step
+        edge = ws.buf("edge", (w, m))
+        host.rint(scaled, out=edge)
+        host.subtract(scaled, edge, out=edge)
+        host.abs(edge, out=edge)
+        near_edge = edge < boundary_guard
+        for row in host.flatnonzero(near_edge.any(axis=1)):
+            y[row] = phi @ centered[row]
+        # quantize() returns a fresh array, so nothing leased escapes.
+        return quantizer.quantize(y)

@@ -12,7 +12,8 @@ layering check by omission.
 The declared order refines the coarse sketch in ``docs/architecture.md``
 to what the tree actually enforces (measured, then pinned):
 
-    devtools  ⇣  signals/sensing/wavelets/metrics/coding  ⇣  recovery
+    devtools  ⇣  backend  ⇣  perf  ⇣
+    signals/sensing/wavelets/metrics/coding  ⇣  recovery
     ⇣  core/power  ⇣  runtime  ⇣  experiments  ⇣  stream  ⇣  cli
 
 Lower layers must never import higher ones; imports within one layer
@@ -96,6 +97,10 @@ REPRO_LAYERS = LayerConfig(
     [
         ("devtools", ["repro.devtools"]),
         ("backend", ["repro.backend"]),
+        # The workspace/profiler engine sits directly on the backend
+        # seam (it hands out backend arrays) and below everything that
+        # runs a hot loop, so any kernel layer may lease from it.
+        ("perf", ["repro.perf"]),
         (
             "foundation",
             [

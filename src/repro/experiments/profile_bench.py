@@ -1,0 +1,367 @@
+"""Workspace/allocation microbenchmark behind ``repro profile``.
+
+For each hot kernel (the batched solvers, the batch encoder and the
+vectorized synthesizer) this bench runs the *same* code path twice —
+once with pooled workspaces (:func:`repro.perf.use_workspaces` on) and
+once against the fresh-allocation :class:`~repro.perf.NullWorkspace`
+baseline — and records:
+
+* deterministic allocation counters from the workspace pool
+  (``bytes_allocated`` per run, both arms: the baseline equals
+  ``bytes_served`` by construction, the warm arm only counts capacity
+  growth);
+* wall-clock over ``repeats`` timed runs per arm (no tracemalloc — see
+  :mod:`repro.perf.profiler` for why tracing and timing never share a
+  pass), as windows/sec before/after workspaces;
+* the maximum absolute deviation between the two arms' outputs, which
+  the CI gates at exactly ``0.0`` — buffer reuse must not change a
+  single bit on the exact path;
+* one traced pass through every kernel with
+  :func:`repro.perf.profiling` (``trace_alloc=True``) as the
+  tracemalloc cross-check, reported per ``@profiled`` kernel name.
+
+The result is ``BENCH_profile.json`` (schema ``repro-bench-profile/v1``)
+with the workspace-pool totals and the recovery-cache hit rates
+alongside the per-kernel cells; ``repro report`` renders it and the CI
+asserts the allocation-reduction and zero-deviation gates.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import FrontEndConfig
+from repro.experiments.solver_bench import _signal_windows
+from repro.perf import pool_stats, profiling, use_workspaces
+from repro.recovery.batched import (
+    solve_bpdn_admm_batch,
+    solve_bsbl_batch,
+    solve_fista_batch,
+)
+from repro.recovery.bsbl import measurement_noise_var
+from repro.recovery.fista import lambda_max
+from repro.recovery.opcache import problem_for_config
+
+__all__ = [
+    "PROFILE_KERNELS",
+    "SOLVER_KERNELS",
+    "ProfileKernelCell",
+    "run_profile_bench",
+    "profile_bench_payload",
+]
+
+#: Every kernel the profile bench exercises, in report order.
+PROFILE_KERNELS = ("fista", "admm", "bsbl", "encode", "synth")
+
+#: The iterative-solver subset whose allocation reduction the CI gates
+#: (the encoder and synthesizer run few buffers per call, so their
+#: reduction ratio is small by construction and stays informational).
+SOLVER_KERNELS = ("fista", "admm", "bsbl")
+
+
+@dataclass(frozen=True)
+class ProfileKernelCell:
+    """Both arms of one kernel: fresh-allocation baseline vs workspaces."""
+
+    kernel: str
+    profiled_name: str
+    n_units: int
+    units: str
+    repeats: int
+    baseline_s: float
+    workspace_s: float
+    baseline_alloc_bytes: int
+    workspace_alloc_bytes: int
+    bytes_served: int
+    buf_calls: int
+    max_abs_dev: float
+
+    @property
+    def baseline_units_per_sec(self) -> float:
+        return self.n_units * self.repeats / self.baseline_s
+
+    @property
+    def workspace_units_per_sec(self) -> float:
+        return self.n_units * self.repeats / self.workspace_s
+
+    @property
+    def speedup(self) -> float:
+        """Workspace-arm throughput over the fresh-allocation baseline."""
+        return self.baseline_s / self.workspace_s
+
+    @property
+    def alloc_reduction(self) -> float:
+        """Baseline allocator traffic over the warm workspace arm's.
+
+        A fully warm arm allocates zero bytes; the denominator is
+        floored at one byte so the ratio stays finite (and JSON-safe)
+        rather than infinite.
+        """
+        return self.baseline_alloc_bytes / max(self.workspace_alloc_bytes, 1)
+
+
+def _pool_delta(before: Dict[str, float], after: Dict[str, float]) -> Tuple[int, int, int]:
+    """(bytes_allocated, bytes_served, buf_calls) folded in between."""
+    return (
+        int(after["bytes_allocated"] - before["bytes_allocated"]),
+        int(after["bytes_served"] - before["bytes_served"]),
+        int(after["buf_calls"] - before["buf_calls"]),
+    )
+
+
+def _measure_kernel(
+    kernel: str,
+    profiled_name: str,
+    run: Callable[[], np.ndarray],
+    n_units: int,
+    units: str,
+    repeats: int,
+) -> ProfileKernelCell:
+    """Run one kernel through both arms; see the module docstring.
+
+    The warmup call (workspaces on) pays every one-time cost — operator
+    cache fills, codebook/LUT builds, pool capacity — outside the
+    measured region, so the arms differ only in buffer reuse.
+    """
+    with use_workspaces(True):
+        run()
+
+    # Allocation arms: one run each, measured via pool-counter deltas
+    # (leases fold their counters into the pool at release).
+    before = pool_stats()
+    with use_workspaces(False):
+        base_out = run()
+    mid = pool_stats()
+    with use_workspaces(True):
+        ws_out = run()
+    after = pool_stats()
+    base_alloc, _, _ = _pool_delta(before, mid)
+    ws_alloc, served, calls = _pool_delta(mid, after)
+    max_abs_dev = float(
+        np.max(np.abs(np.asarray(base_out) - np.asarray(ws_out)))
+    )
+
+    # Timing arms: repeats runs each, pool already warm, no tracing.
+    start = time.perf_counter()
+    with use_workspaces(False):
+        for _ in range(repeats):
+            run()
+    baseline_s = time.perf_counter() - start
+    start = time.perf_counter()
+    with use_workspaces(True):
+        for _ in range(repeats):
+            run()
+    workspace_s = time.perf_counter() - start
+
+    return ProfileKernelCell(
+        kernel=kernel,
+        profiled_name=profiled_name,
+        n_units=n_units,
+        units=units,
+        repeats=repeats,
+        baseline_s=baseline_s,
+        workspace_s=workspace_s,
+        baseline_alloc_bytes=base_alloc,
+        workspace_alloc_bytes=ws_alloc,
+        bytes_served=served,
+        buf_calls=calls,
+        max_abs_dev=max_abs_dev,
+    )
+
+
+def _stack_alphas(results: Sequence[Any]) -> np.ndarray:
+    return np.stack([r.alpha for r in results], axis=1)
+
+
+def run_profile_bench(
+    base_config: FrontEndConfig,
+    *,
+    cr_percent: float = 50.0,
+    record_name: str = "100",
+    n_windows: int = 8,
+    duration_s: float = 30.0,
+    repeats: int = 3,
+    solver_max_iter: int = 120,
+    bsbl_max_iter: int = 10,
+    synth_duration_s: float = 4.0,
+) -> Tuple[List[ProfileKernelCell], List[Dict[str, Any]]]:
+    """Run every profile kernel; returns ``(cells, traced profiler rows)``.
+
+    One record's first ``n_windows`` windows feed the three batched
+    solvers and the batch encoder at one CR; the synthesizer runs a
+    fixed-seed fast-path waveform.  Solver iteration caps are bench
+    knobs (enough iterations for the loop to dominate, few enough for a
+    smoke run to stay in seconds) — convergence quality is the solver
+    bench's concern, not this one's.
+    """
+    from repro.core.encode_batch import measure_window_stack
+    from repro.sensing.quantizers import measurement_quantizer
+    from repro.signals.ecgsyn import synthesize_ecg
+
+    config = base_config.for_cr(cr_percent)
+    xs = _signal_windows(
+        record_name, config.window_len, n_windows, duration_s
+    )
+    problem = problem_for_config(config)
+    ys = [problem.measure_signal(x) for x in xs]
+    sigma = 0.02 * float(np.median([np.linalg.norm(y) for y in ys]))
+    lam = 0.05 * max(lambda_max(problem, y) for y in ys)
+    noise_var = measurement_noise_var(
+        1.0, config.recovery.bsbl.noise_scale
+    )
+
+    center = 1 << (config.acquisition_bits - 1)
+    quantizer = measurement_quantizer(
+        problem.phi, float(center), config.measurement_bits
+    )
+    centered = np.ascontiguousarray(np.stack(xs, axis=0))
+
+    n_synth = int(round(synth_duration_s * 360.0))
+
+    plans: List[Tuple[str, str, Callable[[], np.ndarray], int, str]] = [
+        (
+            "fista",
+            "recovery.fista_batch",
+            lambda: _stack_alphas(
+                solve_fista_batch(
+                    problem, ys, lam, max_iter=solver_max_iter, tol=1e-9
+                )
+            ),
+            n_windows,
+            "windows",
+        ),
+        (
+            "admm",
+            "recovery.admm_batch",
+            lambda: _stack_alphas(
+                solve_bpdn_admm_batch(
+                    problem, ys, sigma, max_iter=solver_max_iter, tol=1e-9
+                )
+            ),
+            n_windows,
+            "windows",
+        ),
+        (
+            "bsbl",
+            "recovery.bsbl_batch",
+            lambda: _stack_alphas(
+                solve_bsbl_batch(
+                    problem,
+                    ys,
+                    noise_var,
+                    bsbl=config.recovery.bsbl,
+                    max_iter=bsbl_max_iter,
+                    tol=1e-12,
+                )
+            ),
+            n_windows,
+            "windows",
+        ),
+        (
+            "encode",
+            "core.encode_batch",
+            lambda: measure_window_stack(
+                problem.phi,
+                quantizer,
+                centered,
+                config.encode.boundary_guard,
+            ),
+            n_windows,
+            "windows",
+        ),
+        (
+            "synth",
+            "signals.ecgsyn",
+            lambda: synthesize_ecg(synth_duration_s, seed=7),
+            n_synth,
+            "samples",
+        ),
+    ]
+
+    cells = [
+        _measure_kernel(kernel, name, run, n_units, units, repeats)
+        for kernel, name, run, n_units, units in plans
+    ]
+
+    # Traced cross-check: one pass per kernel under tracemalloc, both
+    # workspaces on — slow, so it never shares a pass with the timings.
+    with profiling(trace_alloc=True) as prof:
+        for _, _, run, _, _ in plans:
+            run()
+    return cells, prof.report()
+
+
+def profile_bench_payload(
+    cells: Sequence[ProfileKernelCell],
+    profiler_rows: Sequence[Dict[str, Any]],
+    *,
+    smoke: bool,
+    cache_stats: Optional[Dict[str, Any]] = None,
+    workspace_stats: Optional[Dict[str, float]] = None,
+) -> Dict[str, Any]:
+    """The ``BENCH_profile.json`` document for a cell list.
+
+    Gated aggregates: ``min_alloc_reduction`` over the solver kernels
+    (the encoder/synth cells stay informational) and ``max_abs_dev``
+    over every cell, which must be exactly ``0.0`` — workspace reuse is
+    a memory optimization, never an arithmetic change.
+    """
+    solver_cells = [c for c in cells if c.kernel in SOLVER_KERNELS]
+    total_baseline = sum(c.baseline_s for c in cells)
+    total_workspace = sum(c.workspace_s for c in cells)
+    return {
+        "schema": "repro-bench-profile/v1",
+        "smoke": bool(smoke),
+        "cpu_count": os.cpu_count(),
+        "kernels": [
+            {
+                "kernel": c.kernel,
+                "profiled_name": c.profiled_name,
+                "n_units": c.n_units,
+                "units": c.units,
+                "repeats": c.repeats,
+                "baseline": {
+                    "wall_clock_s": c.baseline_s,
+                    "units_per_sec": c.baseline_units_per_sec,
+                    "alloc_bytes": c.baseline_alloc_bytes,
+                },
+                "workspace": {
+                    "wall_clock_s": c.workspace_s,
+                    "units_per_sec": c.workspace_units_per_sec,
+                    "alloc_bytes": c.workspace_alloc_bytes,
+                },
+                "bytes_served": c.bytes_served,
+                "buf_calls": c.buf_calls,
+                "speedup": c.speedup,
+                "alloc_reduction": c.alloc_reduction,
+                "max_abs_dev": c.max_abs_dev,
+            }
+            for c in cells
+        ],
+        "min_alloc_reduction": (
+            min(c.alloc_reduction for c in solver_cells)
+            if solver_cells
+            else None
+        ),
+        "min_speedup": min((c.speedup for c in cells), default=None),
+        "max_abs_dev": max((c.max_abs_dev for c in cells), default=None),
+        "aggregate": {
+            "baseline_s": total_baseline,
+            "workspace_s": total_workspace,
+            "speedup": (
+                total_baseline / total_workspace if total_workspace else None
+            ),
+        },
+        "profiler": list(profiler_rows),
+        "workspace_pool": dict(workspace_stats)
+        if workspace_stats is not None
+        else None,
+        "recovery_cache": dict(cache_stats)
+        if cache_stats is not None
+        else None,
+    }

@@ -23,12 +23,14 @@ __all__ = [
     "BENCH_ENCODE_STEM",
     "BENCH_GATEWAY_STEM",
     "BENCH_BSBL_STEM",
+    "BENCH_PROFILE_STEM",
     "ReportSection",
     "bench_sweep_section",
     "bench_solvers_section",
     "bench_encode_section",
     "bench_gateway_section",
     "bench_bsbl_section",
+    "bench_profile_section",
     "build_report",
     "write_report",
 ]
@@ -47,6 +49,9 @@ BENCH_GATEWAY_STEM = "BENCH_gateway"
 
 #: Stem of the optional Bayesian-family comparison (`repro bench`).
 BENCH_BSBL_STEM = "BENCH_bsbl"
+
+#: Stem of the optional workspace/allocation profile (`repro profile`).
+BENCH_PROFILE_STEM = "BENCH_profile"
 
 #: (artifact stem, section heading) in paper order.
 EXPECTED_ARTIFACTS: Tuple[Tuple[str, str], ...] = (
@@ -442,6 +447,91 @@ def bench_bsbl_section(results_dir: Path) -> str:
     return "\n".join(lines)
 
 
+def bench_profile_section(results_dir: Path) -> str:
+    """Markdown for the workspace/allocation profile, or "" when absent.
+
+    ``BENCH_profile.json`` compares every hot kernel with pooled
+    workspaces against the same code on fresh allocations (see
+    ``docs/performance.md``); informational, like the other bench
+    artifacts.
+    """
+    path = Path(results_dir) / f"{BENCH_PROFILE_STEM}.json"
+    if not path.exists():
+        return ""
+    try:
+        data = json.loads(path.read_text())
+    except ValueError:
+        return ""
+    lines = [
+        "## Hot-path profile (`repro profile`)",
+        "",
+        "| kernel | baseline /s | workspace /s | speedup | alloc B/run | warm alloc B | reduction | max dev |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for cell in data.get("kernels", []):
+        baseline = cell.get("baseline", {})
+        workspace = cell.get("workspace", {})
+        lines.append(
+            f"| {cell.get('kernel')} ({cell.get('units', 'windows')}) "
+            f"| {baseline.get('units_per_sec', 0):.1f} "
+            f"| {workspace.get('units_per_sec', 0):.1f} "
+            f"| {cell.get('speedup', 0):.2f}x "
+            f"| {baseline.get('alloc_bytes', 0)} "
+            f"| {workspace.get('alloc_bytes', 0)} "
+            f"| {cell.get('alloc_reduction', 0):.0f}x "
+            f"| {cell.get('max_abs_dev', 0):.1e} |"
+        )
+    reduction = data.get("min_alloc_reduction")
+    if reduction is not None:
+        lines += [
+            "",
+            f"- minimum solver-kernel allocation reduction (fresh over "
+            f"warm workspaces): {reduction:.0f}x",
+        ]
+    max_dev = data.get("max_abs_dev")
+    if max_dev is not None:
+        lines.append(
+            f"- worst reuse-vs-fresh output deviation: {max_dev:.1e} "
+            f"(the exact path must report 0.0)"
+        )
+    pool = data.get("workspace_pool")
+    if pool:
+        lines.append(
+            f"- workspace pool: {pool.get('leases')} leases "
+            f"({pool.get('null_leases')} baseline), "
+            f"{pool.get('workspaces_created')} workspaces created, "
+            f"reuse fraction {pool.get('reuse_fraction', 0):.3f}"
+        )
+    cache = data.get("recovery_cache")
+    if cache:
+        lines.append(
+            f"- operator cache: {cache.get('hits')} hits / "
+            f"{cache.get('misses')} misses "
+            f"(hit rate {cache.get('hit_rate', 0):.2f}, "
+            f"operator-set hit rate "
+            f"{cache.get('operator_hit_rate', 0):.2f})"
+        )
+    profiler = data.get("profiler") or []
+    if profiler:
+        lines += [
+            "",
+            "### Traced pass (tracemalloc cross-check)",
+            "",
+            "| kernel | calls | wall s | net alloc B | peak B |",
+            "|---|---|---|---|---|",
+        ]
+        for row in profiler:
+            lines.append(
+                f"| {row.get('name')} "
+                f"| {row.get('calls')} "
+                f"| {row.get('wall_s', 0):.3f} "
+                f"| {row.get('alloc_bytes')} "
+                f"| {row.get('peak_bytes')} |"
+            )
+    lines.append("")
+    return "\n".join(lines)
+
+
 def build_report(results_dir: Path) -> Tuple[str, int, int]:
     """Render the Markdown report.
 
@@ -480,6 +570,7 @@ def build_report(results_dir: Path) -> Tuple[str, int, int]:
         bench_encode_section(results_dir),
         bench_gateway_section(results_dir),
         bench_bsbl_section(results_dir),
+        bench_profile_section(results_dir),
     ):
         if bench:
             body_parts.append(bench)

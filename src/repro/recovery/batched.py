@@ -51,6 +51,7 @@ from dataclasses import replace
 from typing import Any, List, Optional, Sequence
 
 from repro.backend import BackendSettings, HOST, ndarray, resolve
+from repro.perf import lease_workspace, profiled
 from repro.recovery.admm import solve_bpdn_admm
 from repro.recovery.bsbl import (
     BsblSettings,
@@ -79,6 +80,17 @@ __all__ = [
     "recover_windows_loop",
 ]
 
+#: Fraction of the active stack that must be frozen (converged) before
+#: the convex engines pay for a compaction copy.  Compacting on every
+#: convergence event copied the whole active stack each time one window
+#: finished; deferring until a quarter is frozen bounds the wasted work
+#: (frozen columns iterate harmlessly — the math is column-independent
+#: and their results were recorded at freeze time) while keeping the
+#: GEMM width shrinking.  The Bayesian engine compacts immediately: its
+#: per-column E-step is a dense ``n x n`` solve, so carrying a frozen
+#: column even one extra iteration costs more than the copy.
+_COMPACT_FRACTION = 0.25
+
 
 def stack_measurements(
     problem: CsProblem,
@@ -103,17 +115,6 @@ def stack_measurements(
             )
         cols.append(arr)
     return xp.stack(cols, axis=1)
-
-
-def _soft_threshold(xp: Any, v: Any, threshold: float) -> Any:
-    """``sign(v) * max(|v| - threshold, 0)`` in ``v``'s own dtype.
-
-    The namespace twin of :func:`repro.recovery.prox.soft_threshold`:
-    identical arithmetic (hence bit-identical for float64 input), minus
-    the host-coercing ``asarray(dtype=float)`` so a float32 stack stays
-    float32.
-    """
-    return xp.sign(v) * xp.maximum(xp.abs(v) - threshold, 0.0)
 
 
 def _stack_alpha0(
@@ -185,6 +186,7 @@ def _finalize(
     return results
 
 
+@profiled("recovery.fista_batch")
 def solve_fista_batch(
     problem: CsProblem,
     ys: Sequence[ndarray],
@@ -199,55 +201,97 @@ def solve_fista_batch(
 
     One GEMM pair per iteration over the active columns; Nesterov's
     ``t_k`` sequence is data-independent, so it is shared by every
-    column exactly as in the scalar solver.  Returns one result per
-    input window, in order.
+    column exactly as in the scalar solver.  Per-iteration temporaries
+    live in a leased workspace (fresh allocations only while the lease
+    is cold), with the iterate/momentum stacks double-buffered by
+    iteration parity.  A converged column is frozen — its result and
+    iteration count recorded immediately — but the compaction copy is
+    deferred until :data:`_COMPACT_FRACTION` of the stack is frozen.
+    Returns one result per input window, in order.
     """
     if lam <= 0:
         raise ValueError("lam must be positive")
-    _, xp, dtype, settings = resolve(settings)
+    backend, xp, dtype, settings = resolve(settings)
     y_stack = stack_measurements(problem, ys, settings=settings)
     k = y_stack.shape[1]
     ops = operators_for(problem, settings)
     a = ops.a
+    a_t = a.T
+    m, n = a.shape
     step = 1.0 / ops.opnorm_sq()
 
     alpha = _stack_alpha0(problem, alpha0, k, xp, dtype)
     momentum = alpha.copy()
     t_k = 1.0
 
-    # Per-window bookkeeping; frozen columns are compacted out of the
-    # active stack so converged windows stop paying for stragglers.
+    # Per-window bookkeeping; ``frozen`` marks converged columns of the
+    # current active stack whose compaction is still pending.
     final = xp.empty_like(alpha)
     iterations = xp.zeros(k, dtype=xp.int64)
     converged = xp.zeros(k, dtype=xp.bool_)
     active = xp.arange(k)
+    frozen = xp.zeros(k, dtype=xp.bool_)
+    y_act = y_stack  # full active set: the stack itself, no copy
 
-    for it in range(1, max_iter + 1):
-        grad = a.T @ (a @ momentum - y_stack[:, active])
-        alpha_new = _soft_threshold(xp, momentum - step * grad, step * lam)
-        t_next = (1.0 + xp.sqrt(1.0 + 4.0 * t_k**2)) / 2.0
-        momentum = alpha_new + ((t_k - 1.0) / t_next) * (alpha_new - alpha)
-        change = xp.linalg.norm(alpha_new - alpha, axis=0)
-        scale = xp.maximum(xp.linalg.norm(alpha_new, axis=0), 1.0)
-        alpha = alpha_new
-        t_k = t_next
+    with lease_workspace(settings, f"fista:{m}x{n}") as ws:
+        for it in range(1, max_iter + 1):
+            ka = int(active.size)
+            resid = ws.buf("resid", (m, ka), dtype)
+            backend.matmul(a, momentum, out=resid)
+            resid -= y_act
+            grad = ws.buf("grad", (n, ka), dtype)
+            backend.matmul(a_t, resid, out=grad)
+            prox = ws.buf("prox", (n, ka), dtype)
+            xp.multiply(grad, step, out=prox)
+            xp.subtract(momentum, prox, out=prox)
+            # alpha persists into the next iteration (the momentum and
+            # change terms read it), so the new iterate alternates
+            # between two named buffers by iteration parity.
+            alpha_new = ws.buf(
+                "alpha_a" if it % 2 else "alpha_b", (n, ka), dtype
+            )
+            backend.soft_threshold(prox, step * lam, out=alpha_new)
+            t_next = (1.0 + xp.sqrt(1.0 + 4.0 * t_k**2)) / 2.0
+            diff = ws.buf("diff", (n, ka), dtype)
+            xp.subtract(alpha_new, alpha, out=diff)
+            change = xp.linalg.norm(diff, axis=0)
+            # momentum was last read computing resid/prox above, so its
+            # buffer is safe to overwrite in place here.
+            mom_new = ws.buf("momentum", (n, ka), dtype)
+            xp.multiply(diff, (t_k - 1.0) / t_next, out=mom_new)
+            xp.add(alpha_new, mom_new, out=mom_new)
+            scale = xp.maximum(xp.linalg.norm(alpha_new, axis=0), 1.0)
+            alpha = alpha_new
+            momentum = mom_new
+            t_k = t_next
 
-        done = change <= tol * scale
-        if xp.any(done):
-            cols = active[done]
-            final[:, cols] = alpha[:, done]
-            iterations[cols] = it
-            converged[cols] = True
-            keep = ~done
-            active = active[keep]
-            if active.size == 0:
-                break
-            alpha = alpha[:, keep]
-            momentum = momentum[:, keep]
+            done = change <= tol * scale
+            newly = done & ~frozen
+            if xp.any(newly):
+                cols = active[newly]
+                final[:, cols] = alpha[:, newly]
+                iterations[cols] = it
+                converged[cols] = True
+                frozen = frozen | newly
+            nfrozen = int(frozen.sum())
+            if nfrozen == ka or nfrozen >= _COMPACT_FRACTION * ka:
+                keep = ~frozen
+                active = active[keep]
+                if active.size == 0:
+                    break
+                # Fancy indexing yields owned copies, ending any
+                # aliasing with the parity buffers above.
+                alpha = alpha[:, keep]
+                momentum = momentum[:, keep]
+                y_act = y_stack[:, active]
+                frozen = xp.zeros(active.size, dtype=xp.bool_)
 
     if active.size:
-        final[:, active] = alpha
-        iterations[active] = max_iter
+        left = ~frozen
+        cols = active[left]
+        if cols.size:
+            final[:, cols] = alpha[:, left]
+            iterations[cols] = max_iter
 
     info = {
         "lam": float(lam),
@@ -261,17 +305,32 @@ def solve_fista_batch(
 
 
 def _project_l2_ball_columns(
-    xp: Any, v: Any, centers: Any, radius: float
+    xp: Any,
+    v: Any,
+    centers: Any,
+    radius: float,
+    out: Any = None,
+    diff_buf: Any = None,
 ) -> Any:
     """Column-wise Euclidean projection onto ``||z - center_j|| <= radius``.
 
     The vectorized twin of :func:`repro.recovery.prox.project_l2_ball`,
     including its "already inside (or at the center): return unchanged"
     branch, so each column matches the scalar projection bit-for-bit.
+    ``out``/``diff_buf`` route the result and the ``v - centers``
+    temporary into workspace buffers; both start as full copies/
+    overwrites, so the values are identical to the allocating form.
     """
-    diff = v - centers
+    if diff_buf is None:
+        diff = v - centers
+    else:
+        diff = diff_buf
+        xp.subtract(v, centers, out=diff)
     norms = xp.linalg.norm(diff, axis=0)
-    out = v.copy()
+    if out is None:
+        out = v.copy()
+    else:
+        out[...] = v
     shrink = (norms > radius) & (norms > 0.0)
     if xp.any(shrink):
         out[:, shrink] = centers[:, shrink] + diff[:, shrink] * (
@@ -280,6 +339,7 @@ def _project_l2_ball_columns(
     return out
 
 
+@profiled("recovery.admm_batch")
 def solve_bpdn_admm_batch(
     problem: CsProblem,
     ys: Sequence[ndarray],
@@ -303,11 +363,13 @@ def solve_bpdn_admm_batch(
         raise ValueError("sigma cannot be negative")
     if rho <= 0:
         raise ValueError("rho must be positive")
-    _, xp, dtype, settings = resolve(settings)
+    backend, xp, dtype, settings = resolve(settings)
     y_stack = stack_measurements(problem, ys, settings=settings)
     k = y_stack.shape[1]
     ops = operators_for(problem, settings)
     a = ops.a
+    a_t = a.T
+    m, n = a.shape
 
     alpha = _stack_alpha0(problem, alpha0, k, xp, dtype)
     w = alpha.copy()
@@ -319,46 +381,97 @@ def solve_bpdn_admm_batch(
     iterations = xp.zeros(k, dtype=xp.int64)
     converged = xp.zeros(k, dtype=xp.bool_)
     active = xp.arange(k)
+    frozen = xp.zeros(k, dtype=xp.bool_)
+    y_act = y_stack  # full active set: the stack itself, no copy
 
-    for it in range(1, max_iter + 1):
-        y_act = y_stack[:, active]
-        rhs = (w - u_w) + a.T @ (z - u_z)
-        alpha = ops.cho_solve(rhs)
-        a_alpha = a @ alpha
-        w_new = _soft_threshold(xp, alpha + u_w, 1.0 / rho)
-        z_new = _project_l2_ball_columns(xp, a_alpha + u_z, y_act, sigma)
-        u_w += alpha - w_new
-        u_z += a_alpha - z_new
+    with lease_workspace(settings, f"admm:{m}x{n}") as ws:
+        for it in range(1, max_iter + 1):
+            ka = int(active.size)
+            # rhs = (w - u_w) + a.T @ (z - u_z), accumulated in place.
+            zt = ws.buf("zt", (m, ka), dtype)
+            xp.subtract(z, u_z, out=zt)
+            rhs = ws.buf("rhs", (n, ka), dtype)
+            backend.matmul(a_t, zt, out=rhs)
+            wd = ws.buf("wd", (n, ka), dtype)
+            xp.subtract(w, u_w, out=wd)
+            xp.add(wd, rhs, out=rhs)
+            # The triangular solves allocate their solution internally
+            # (LAPACK copies a C-ordered rhs regardless); rhs itself is
+            # dead after this call, hence overwrite_b.
+            alpha = ops.cho_solve(rhs, overwrite_b=True)
+            a_alpha = ws.buf("a_alpha", (m, ka), dtype)
+            backend.matmul(a, alpha, out=a_alpha)
+            wsum = ws.buf("wsum", (n, ka), dtype)
+            xp.add(alpha, u_w, out=wsum)
+            # w and z persist across iterations (read at the top and in
+            # the dual residual), so their successors alternate between
+            # parity-named buffers.
+            w_new = ws.buf("w_a" if it % 2 else "w_b", (n, ka), dtype)
+            backend.soft_threshold(wsum, 1.0 / rho, out=w_new)
+            zsum = ws.buf("zsum", (m, ka), dtype)
+            xp.add(a_alpha, u_z, out=zsum)
+            z_new = _project_l2_ball_columns(
+                xp,
+                zsum,
+                y_act,
+                sigma,
+                out=ws.buf("z_a" if it % 2 else "z_b", (m, ka), dtype),
+                diff_buf=ws.buf("zdiff", (m, ka), dtype),
+            )
+            # Each difference is computed once and reused for the dual
+            # update and the residual norm (identical values to the
+            # original's two evaluations of the same expression).
+            dw = ws.buf("dw", (n, ka), dtype)
+            xp.subtract(alpha, w_new, out=dw)
+            u_w += dw
+            dz = ws.buf("dz", (m, ka), dtype)
+            xp.subtract(a_alpha, z_new, out=dz)
+            u_z += dz
 
-        primal = xp.sqrt(
-            xp.linalg.norm(alpha - w_new, axis=0) ** 2
-            + xp.linalg.norm(a_alpha - z_new, axis=0) ** 2
-        )
-        dual = rho * xp.sqrt(
-            xp.linalg.norm(w_new - w, axis=0) ** 2
-            + xp.linalg.norm(a.T @ (z_new - z), axis=0) ** 2
-        )
-        w, z = w_new, z_new
-        scale = xp.maximum(xp.linalg.norm(w, axis=0), 1.0)
+            primal = xp.sqrt(
+                xp.linalg.norm(dw, axis=0) ** 2
+                + xp.linalg.norm(dz, axis=0) ** 2
+            )
+            zdel = ws.buf("zdel", (m, ka), dtype)
+            xp.subtract(z_new, z, out=zdel)
+            atzd = ws.buf("atzd", (n, ka), dtype)
+            backend.matmul(a_t, zdel, out=atzd)
+            wdel = ws.buf("wdel", (n, ka), dtype)
+            xp.subtract(w_new, w, out=wdel)
+            dual = rho * xp.sqrt(
+                xp.linalg.norm(wdel, axis=0) ** 2
+                + xp.linalg.norm(atzd, axis=0) ** 2
+            )
+            w, z = w_new, z_new
+            scale = xp.maximum(xp.linalg.norm(w, axis=0), 1.0)
 
-        done = (primal <= tol * scale) & (dual <= tol * scale)
-        if xp.any(done):
-            cols = active[done]
-            final[:, cols] = w[:, done]
-            iterations[cols] = it
-            converged[cols] = True
-            keep = ~done
-            active = active[keep]
-            if active.size == 0:
-                break
-            w = w[:, keep]
-            z = z[:, keep]
-            u_w = u_w[:, keep]
-            u_z = u_z[:, keep]
+            done = (primal <= tol * scale) & (dual <= tol * scale)
+            newly = done & ~frozen
+            if xp.any(newly):
+                cols = active[newly]
+                final[:, cols] = w[:, newly]
+                iterations[cols] = it
+                converged[cols] = True
+                frozen = frozen | newly
+            nfrozen = int(frozen.sum())
+            if nfrozen == ka or nfrozen >= _COMPACT_FRACTION * ka:
+                keep = ~frozen
+                active = active[keep]
+                if active.size == 0:
+                    break
+                w = w[:, keep]
+                z = z[:, keep]
+                u_w = u_w[:, keep]
+                u_z = u_z[:, keep]
+                y_act = y_stack[:, active]
+                frozen = xp.zeros(active.size, dtype=xp.bool_)
 
     if active.size:
-        final[:, active] = w
-        iterations[active] = max_iter
+        left = ~frozen
+        cols = active[left]
+        if cols.size:
+            final[:, cols] = w[:, left]
+            iterations[cols] = max_iter
 
     info = {"rho": float(rho), "batch": float(k), "backend": settings.label}
     return _finalize(
@@ -381,6 +494,7 @@ def _bsbl_overrides(
     return replace(settings, **updates) if updates else settings
 
 
+@profiled("recovery.bsbl_batch")
 def _solve_bsbl_stack(
     ops: OperatorSet,
     y_stack: Any,
@@ -405,6 +519,7 @@ def _solve_bsbl_stack(
     it never feeds back into the iteration.
     """
     problem = ops.problem
+    backend = ops.backend
     n = problem.n
     k = y_stack.shape[1]
     blen = bsbl.block_len
@@ -426,58 +541,76 @@ def _solve_bsbl_stack(
     converged = xp.zeros(k, dtype=xp.bool_)
     active = xp.arange(k)
 
-    for it in range(1, bsbl.max_iter + 1):
-        ka = active.size
-        bmat, binv, _ = ar1_blocks(xp, r, blen)
-        m_stack = xp.empty((ka, n, n), dtype=dtype)
-        m_stack[:] = gmat
-        m5 = m_stack.reshape(ka, g, blen, g, blen)
-        add = binv[:, None, :, :] / gamma[:, :, None, None]
-        m5[:, idx, :, idx, :] += xp.transpose(add, (1, 0, 2, 3))
+    ws_ctx = lease_workspace(ops.settings, f"bsbl:{n}:b{blen}")
+    with ws_ctx as ws:
+        for it in range(1, bsbl.max_iter + 1):
+            ka = int(active.size)
+            bmat, binv, _ = ar1_blocks(xp, r, blen)
+            # The three O(ka * n^2) E-step temporaries — the information
+            # stack, the [b | G] right-hand side and its solution — are
+            # the whole allocation story of this solver; all live in the
+            # workspace and are fully overwritten below.
+            m_stack = ws.buf("m_stack", (ka, n, n), dtype)
+            m_stack[:] = gmat
+            m5 = m_stack.reshape(ka, g, blen, g, blen)
+            add = ws.buf("add", (ka, g, blen, blen), dtype)
+            xp.divide(binv[:, None, :, :], gamma[:, :, None, None], out=add)
+            m5[:, idx, :, idx, :] += xp.transpose(add, (1, 0, 2, 3))
 
-        rhs = xp.concatenate(
-            [b_act[:, :, None], xp.broadcast_to(gmat, (ka, n, n))], axis=2
-        )
-        sol = xp.linalg.solve(m_stack, rhs)
-        mu_new = sol[:, :, 0]
-        w = sol[:, :, 1:]
-
-        # G is symmetric, so right-multiplying the row stack matches the
-        # scalar path's ``b - G @ mu`` up to GEMM rounding.
-        q = b_act - mu_new @ gmat
-        qb = q.reshape(ka, g, blen)
-        num = xp.einsum("kgb,kbc,kgc->kg", qb, bmat, qb)
-        gw = xp.einsum("ibn,knie->kibe", gblocks, w.reshape(ka, n, g, blen))
-        den = xp.einsum("kbc,kgcb->kg", bmat, gdiag[None] - gw)
-        gamma_prev = gamma
-        gamma = xp.maximum(
-            gamma * bo_gamma_factor(xp, num, den), bsbl.gamma_floor
-        )
-
-        change = xp.linalg.norm(mu_new - mu, axis=1)
-        scale = xp.maximum(xp.linalg.norm(mu_new, axis=1), 1e-12)
-        mu = mu_new
-
-        done = change <= bsbl.tol * scale
-        if xp.any(done):
-            cols = active[done]
-            final[cols] = mu[done]
-            iterations[cols] = it
-            converged[cols] = True
-            keep = ~done
-            active = active[keep]
-            if active.size == 0:
-                break
-            mu = mu[keep]
-            gamma = gamma[keep]
-            gamma_prev = gamma_prev[keep]
-            b_act = b_act[keep]
-            r = r[keep]
-
-        if bsbl.learn_correlation and blen > 1:
-            r = ar1_estimate(
-                xp, mu.reshape(-1, g, blen), gamma_prev, bsbl.corr_limit
+            rhs = ws.buf("rhs", (ka, n, n + 1), dtype)
+            rhs[:, :, 0] = b_act
+            rhs[:, :, 1:] = gmat
+            sol = backend.solve(
+                m_stack, rhs, out=ws.buf("sol", (ka, n, n + 1), dtype)
             )
+            # mu persists across iterations (the change norm reads last
+            # round's value) while sol's buffer is overwritten next
+            # round, so the posterior mean moves to a parity-named pair.
+            mu_new = ws.buf("mu_a" if it % 2 else "mu_b", (ka, n), dtype)
+            mu_new[...] = sol[:, :, 0]
+            w = sol[:, :, 1:]
+
+            # G is symmetric, so right-multiplying the row stack matches
+            # the scalar path's ``b - G @ mu`` up to GEMM rounding.
+            q = ws.buf("q", (ka, n), dtype)
+            backend.matmul(mu_new, gmat, out=q)
+            xp.subtract(b_act, q, out=q)
+            qb = q.reshape(ka, g, blen)
+            num = xp.einsum("kgb,kbc,kgc->kg", qb, bmat, qb)
+            gw = xp.einsum("ibn,knie->kibe", gblocks, w.reshape(ka, n, g, blen))
+            den = xp.einsum("kbc,kgcb->kg", bmat, gdiag[None] - gw)
+            gamma_prev = gamma
+            gamma = xp.maximum(
+                gamma * bo_gamma_factor(xp, num, den), bsbl.gamma_floor
+            )
+
+            mudiff = ws.buf("mudiff", (ka, n), dtype)
+            xp.subtract(mu_new, mu, out=mudiff)
+            change = xp.linalg.norm(mudiff, axis=1)
+            scale = xp.maximum(xp.linalg.norm(mu_new, axis=1), 1e-12)
+            mu = mu_new
+
+            done = change <= bsbl.tol * scale
+            if xp.any(done):
+                cols = active[done]
+                final[cols] = mu[done]
+                iterations[cols] = it
+                converged[cols] = True
+                keep = ~done
+                active = active[keep]
+                if active.size == 0:
+                    break
+                # Owned compacted copies: mu leaves the parity buffers.
+                mu = mu[keep]
+                gamma = gamma[keep]
+                gamma_prev = gamma_prev[keep]
+                b_act = b_act[keep]
+                r = r[keep]
+
+            if bsbl.learn_correlation and blen > 1:
+                r = ar1_estimate(
+                    xp, mu.reshape(-1, g, blen), gamma_prev, bsbl.corr_limit
+                )
 
     if active.size:
         final[active] = mu

@@ -150,10 +150,14 @@ class OperatorSet:
             )
         return self._admm_factor
 
-    def cho_solve(self, rhs):
+    def cho_solve(self, rhs, overwrite_b: bool = False):
         """Solve ``(I + AᵀA) x = rhs`` through the cached factorization;
-        ``rhs`` may be an ``(n, k)`` stack."""
-        return self.backend.cho_solve(self.admm_factor(), rhs)
+        ``rhs`` may be an ``(n, k)`` stack.  ``overwrite_b=True`` lets
+        the backend use ``rhs`` as scratch (identical solution values;
+        pass it only for right-hand sides you are done reading)."""
+        return self.backend.cho_solve(
+            self.admm_factor(), rhs, overwrite_b=overwrite_b
+        )
 
 
 class ProblemCache:
@@ -260,6 +264,23 @@ class ProblemCache:
                 (self.operator_hits / op_total) if op_total else 0.0
             ),
         }
+
+    def resize(self, maxsize: int) -> None:
+        """Change the LRU bound, evicting least-recently-used overflow.
+
+        Serves the ``--cache-size`` bench knob: shrinking below the live
+        population evicts immediately (problems and operator sets both),
+        so hit-rate experiments see the new bound without a restart.
+        Counters are kept — resizing is an observation change, not a
+        reset.
+        """
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = int(maxsize)
+        while len(self._problems) > self.maxsize:
+            self._problems.popitem(last=False)
+        while len(self._operators) > self.maxsize:
+            self._operators.popitem(last=False)
 
     def clear(self) -> None:
         """Drop every entry and reset the counters (test isolation)."""

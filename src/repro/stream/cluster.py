@@ -39,6 +39,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.coding.codebook import DifferenceCodebook
 from repro.core.config import FrontEndConfig
 from repro.runtime.executors import Executor
+from repro.runtime.stages import recovery_cache_stats
 from repro.stream.gateway import SHEDDING_POLICIES, StreamGateway
 from repro.stream.ingest import StreamFrame
 from repro.stream.metrics import GatewaySnapshot, rolling_percentile
@@ -568,6 +569,9 @@ class ShardedGateway:
             per_session=tuple(
                 sess for s in shard_snaps for sess in s.per_session
             ),
+            # Shards share the per-process PROBLEM_CACHE singleton, so the
+            # cluster samples it once rather than summing per-shard views.
+            recovery_cache=recovery_cache_stats(),
         )
 
     def balance(self) -> Dict[str, Dict[str, int]]:

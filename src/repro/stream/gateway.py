@@ -41,6 +41,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 from repro.coding.codebook import DifferenceCodebook
 from repro.core.config import FrontEndConfig
 from repro.runtime.executors import Executor, SerialExecutor
+from repro.runtime.stages import recovery_cache_stats
 from repro.stream.ingest import StreamFrame
 from repro.stream.metrics import GatewaySnapshot, rolling_percentile
 from repro.stream.session import (
@@ -391,4 +392,5 @@ class StreamGateway:
             per_session=tuple(
                 s.snapshot() for s in self._sessions.values()
             ),
+            recovery_cache=recovery_cache_stats(),
         )

@@ -171,6 +171,12 @@ class GatewaySnapshot:
     patient_sheds: int = 0
     shed_frames: int = 0
     per_session: Tuple[SessionSnapshot, ...] = ()
+    #: Process-wide recovery cache counters (``PROBLEM_CACHE`` hit/miss
+    #: rates, operator-set occupancy, link memo sizes) at snapshot time;
+    #: ``None`` when the producer did not sample them.  The recovery
+    #: cache is per process, so a multi-shard snapshot reports it once —
+    #: summing per-shard views of the same singleton would double count.
+    recovery_cache: Optional[Dict[str, Any]] = None
 
     @property
     def frames_lost(self) -> int:
@@ -199,6 +205,7 @@ class GatewaySnapshot:
             "latency_p50_s": self.latency_p50_s,
             "latency_p95_s": self.latency_p95_s,
             "latency_p99_s": self.latency_p99_s,
+            "recovery_cache": self.recovery_cache,
             "per_session": [s.to_dict() for s in self.per_session],
         }
 

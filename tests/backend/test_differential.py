@@ -35,10 +35,13 @@ _BASIS = WaveletBasis(N, "db4")
 FAST32 = BackendSettings(name="numpy", precision="float32")
 
 #: PRD bound (percent) on float32 batched solves vs their float64 twins.
-#: Measured deviations sit near 1e-7 (FISTA) and 1e-3 (ADMM, whose
-#: float32 Cholesky solve accumulates more); the bound leaves two orders
-#: of magnitude of margin without ever excusing a genuinely broken path.
-PRD_BOUND_PERCENT = {"fista": 1e-3, "admm": 0.5}
+#: Measured deviations sit near 5e-3 (FISTA — deferred active-set
+#: compaction keeps frozen columns in the GEMM until a threshold, so the
+#: float32 run's freeze schedule can drift a few iterations from the
+#: float64 twin's) and 1e-3 (ADMM, whose float32 Cholesky solve
+#: accumulates more); the bounds leave about two orders of magnitude of
+#: margin without ever excusing a genuinely broken path.
+PRD_BOUND_PERCENT = {"fista": 0.5, "admm": 0.5}
 
 
 def _instance(seed: int, m: int, k: int):

@@ -1,0 +1,80 @@
+"""The gated numba CPU JIT backend.
+
+The availability gate runs everywhere; the differential tests (JIT
+kernels vs the NumPy/SciPy references) run only where numba is actually
+installed and skip cleanly otherwise — same policy as the CuPy/torch
+suites.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import BackendUnavailableError, NumbaBackend
+from repro.backend.registry import backend_names, get_backend
+
+HAS_NUMBA = NumbaBackend.available()
+
+requires_numba = pytest.mark.skipif(
+    not HAS_NUMBA, reason="numba not installed"
+)
+
+
+class TestAvailabilityGate:
+    def test_available_never_raises(self):
+        assert NumbaBackend.available() in (True, False)
+
+    def test_registered_under_its_name(self):
+        assert "numba" in backend_names()
+
+    def test_unavailable_construction_raises(self):
+        if HAS_NUMBA:
+            pytest.skip("numba installed: the gate is open")
+        with pytest.raises(BackendUnavailableError, match="numba"):
+            get_backend("numba")
+
+    def test_import_is_lazy(self):
+        # Importing the backend module must not import numba itself.
+        import sys
+
+        import repro.backend.numba_backend  # noqa: F401
+
+        if not HAS_NUMBA:
+            assert "numba" not in sys.modules
+
+
+@requires_numba
+class TestJitKernels:
+    def setup_method(self):
+        self.backend = get_backend("numba")
+        self.rng = np.random.default_rng(11)
+
+    def test_first_order_iir_matches_scipy(self):
+        from repro.backend import HOST
+
+        u = self.rng.standard_normal(512)
+        jit = self.backend.first_order_iir(0.1, 0.9, u)
+        ref = HOST.first_order_iir(0.1, 0.9, u)
+        assert jit.shape == ref.shape
+        np.testing.assert_allclose(jit, ref, rtol=1e-12, atol=1e-12)
+
+    def test_soft_threshold_matches_reference(self):
+        from repro.backend import HOST
+
+        v = self.rng.standard_normal(256) * 2.0
+        jit = self.backend.soft_threshold(v, 0.3)
+        ref = HOST.soft_threshold(v, 0.3)
+        np.testing.assert_allclose(jit, ref, rtol=1e-15, atol=0.0)
+
+    def test_soft_threshold_signed_zeros(self):
+        v = np.array([0.1, -0.1, 0.0, -0.0])
+        out = self.backend.soft_threshold(v, 0.5)
+        assert np.array_equal(np.signbit(out), np.signbit(v))
+
+    def test_non_hot_shapes_defer_to_numpy(self):
+        from repro.backend import HOST
+
+        v = self.rng.standard_normal((8, 3))  # 2-D: reference path
+        assert np.array_equal(
+            self.backend.soft_threshold(v, 0.2),
+            HOST.soft_threshold(v, 0.2),
+        )

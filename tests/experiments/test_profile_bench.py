@@ -1,0 +1,181 @@
+"""Smoke tests of the workspace/allocation profile bench and its outputs.
+
+One tiny end-to-end run drives every profile kernel (three batched
+solvers, the batch encoder, the synthesizer) through both arms —
+fresh-allocation baseline and pooled workspaces — then checks the gated
+invariants the CI acceptance step relies on: zero output deviation on
+the exact path and a real allocation reduction on the solver kernels.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import FrontEndConfig
+from repro.experiments.profile_bench import (
+    PROFILE_KERNELS,
+    SOLVER_KERNELS,
+    profile_bench_payload,
+    run_profile_bench,
+)
+from repro.experiments.report import bench_profile_section, build_report
+from repro.recovery.pdhg import PdhgSettings
+
+SMALL = FrontEndConfig(
+    window_len=128,
+    n_measurements=48,
+    solver=PdhgSettings(max_iter=100, tol=1e-3),
+)
+
+
+@pytest.fixture(scope="module")
+def profile_run():
+    return run_profile_bench(
+        SMALL,
+        cr_percent=50.0,
+        record_name="100",
+        n_windows=2,
+        duration_s=4.0,
+        repeats=1,
+        solver_max_iter=8,
+        bsbl_max_iter=2,
+        synth_duration_s=1.0,
+    )
+
+
+class TestRunProfileBench:
+    def test_covers_every_kernel(self, profile_run):
+        cells, _ = profile_run
+        assert tuple(c.kernel for c in cells) == PROFILE_KERNELS
+
+    def test_reuse_never_changes_outputs(self, profile_run):
+        cells, _ = profile_run
+        for cell in cells:
+            assert cell.max_abs_dev == 0.0
+
+    def test_solver_kernels_reduce_allocation(self, profile_run):
+        cells, _ = profile_run
+        for cell in cells:
+            if cell.kernel not in SOLVER_KERNELS:
+                continue
+            # Warm workspaces serve every per-iteration temporary from
+            # the pool; the baseline arm allocates it fresh each call.
+            assert cell.workspace_alloc_bytes < cell.baseline_alloc_bytes
+            assert cell.alloc_reduction > 1.0
+            assert cell.bytes_served > 0
+            assert cell.buf_calls > 0
+
+    def test_rates_are_positive(self, profile_run):
+        cells, _ = profile_run
+        for cell in cells:
+            assert cell.baseline_units_per_sec > 0
+            assert cell.workspace_units_per_sec > 0
+            assert cell.speedup > 0
+
+    def test_traced_rows_cover_profiled_names(self, profile_run):
+        cells, rows = profile_run
+        names = {row["name"] for row in rows}
+        for cell in cells:
+            assert cell.profiled_name in names
+
+
+class TestProfileBenchPayload:
+    def test_schema_and_gates(self, profile_run):
+        cells, rows = profile_run
+        payload = profile_bench_payload(cells, rows, smoke=True)
+        assert payload["schema"] == "repro-bench-profile/v1"
+        assert payload["smoke"] is True
+        assert len(payload["kernels"]) == len(PROFILE_KERNELS)
+        assert payload["max_abs_dev"] == 0.0
+        assert payload["min_alloc_reduction"] > 1.0
+        assert payload["aggregate"]["speedup"] > 0
+
+    def test_json_serializable_without_nan(self, profile_run):
+        cells, rows = profile_run
+        payload = profile_bench_payload(
+            cells,
+            rows,
+            smoke=True,
+            cache_stats={"hits": 3, "misses": 1, "hit_rate": 0.75},
+            workspace_stats={"leases": 10, "reuse_fraction": 0.9},
+        )
+        parsed = json.loads(json.dumps(payload, allow_nan=False))
+        assert parsed["recovery_cache"]["hits"] == 3
+        assert parsed["workspace_pool"]["leases"] == 10
+
+    def test_empty_cells_degrade_to_none(self):
+        payload = profile_bench_payload([], [], smoke=True)
+        assert payload["min_alloc_reduction"] is None
+        assert payload["min_speedup"] is None
+        assert payload["max_abs_dev"] is None
+
+
+class TestBenchProfileSection:
+    def _payload(self):
+        return {
+            "schema": "repro-bench-profile/v1",
+            "kernels": [
+                {
+                    "kernel": "fista",
+                    "units": "windows",
+                    "baseline": {
+                        "units_per_sec": 120.0,
+                        "alloc_bytes": 5_000_000,
+                    },
+                    "workspace": {"units_per_sec": 130.0, "alloc_bytes": 0},
+                    "speedup": 1.08,
+                    "alloc_reduction": 5_000_000.0,
+                    "max_abs_dev": 0.0,
+                }
+            ],
+            "min_alloc_reduction": 5_000_000.0,
+            "max_abs_dev": 0.0,
+            "workspace_pool": {
+                "leases": 12,
+                "null_leases": 6,
+                "workspaces_created": 3,
+                "reuse_fraction": 0.95,
+            },
+            "recovery_cache": {
+                "hits": 9,
+                "misses": 1,
+                "hit_rate": 0.9,
+                "operator_hit_rate": 0.8,
+            },
+            "profiler": [
+                {
+                    "name": "solver.fista_batch",
+                    "calls": 1,
+                    "wall_s": 0.25,
+                    "alloc_bytes": 1024,
+                    "peak_bytes": 4096,
+                }
+            ],
+        }
+
+    def test_absent_artifact_renders_nothing(self, tmp_path):
+        assert bench_profile_section(tmp_path) == ""
+
+    def test_present_artifact_renders_tables(self, tmp_path):
+        (tmp_path / "BENCH_profile.json").write_text(
+            json.dumps(self._payload())
+        )
+        markdown = bench_profile_section(tmp_path)
+        assert "## Hot-path profile (`repro profile`)" in markdown
+        assert "| fista (windows) | 120.0 | 130.0 | 1.08x" in markdown
+        assert "minimum solver-kernel allocation reduction" in markdown
+        assert "reuse fraction 0.950" in markdown
+        assert "### Traced pass (tracemalloc cross-check)" in markdown
+        assert "solver.fista_batch" in markdown
+
+    def test_corrupt_artifact_ignored(self, tmp_path):
+        (tmp_path / "BENCH_profile.json").write_text("{broken")
+        assert bench_profile_section(tmp_path) == ""
+
+    def test_wired_into_build_report(self, tmp_path):
+        (tmp_path / "BENCH_profile.json").write_text(
+            json.dumps(self._payload())
+        )
+        markdown, present, _ = build_report(tmp_path)
+        assert present == 0  # informational, not a coverage artifact
+        assert "## Hot-path profile (`repro profile`)" in markdown

@@ -1,0 +1,114 @@
+"""Profiler seam: zero-cost when off, correct accounting when on."""
+
+import pytest
+
+from repro.perf import (
+    KernelStat,
+    Profiler,
+    active_profiler,
+    profiled,
+    profiling,
+)
+
+
+@profiled("test.sample")
+def _sample_kernel(n):
+    return list(range(n))
+
+
+class TestProfiledSeam:
+    def test_no_profiler_means_direct_call(self):
+        assert active_profiler() is None
+        assert _sample_kernel(3) == [0, 1, 2]
+
+    def test_wrapper_advertises_its_name(self):
+        assert _sample_kernel.__profiled_name__ == "test.sample"
+
+    def test_sections_recorded_inside_context(self):
+        with profiling() as prof:
+            _sample_kernel(5)
+            _sample_kernel(5)
+        stat = prof.get("test.sample")
+        assert stat.calls == 2
+        assert stat.wall_s > 0.0
+        assert prof.get("test.missing") is None
+
+    def test_context_installs_and_removes(self):
+        with profiling() as prof:
+            assert active_profiler() is prof
+        assert active_profiler() is None
+
+    def test_nested_profiling_raises(self):
+        with profiling():
+            with pytest.raises(RuntimeError, match="already active"):
+                with profiling():
+                    pass  # pragma: no cover - never reached
+
+    def test_profiler_removed_after_error(self):
+        with pytest.raises(ValueError):
+            with profiling():
+                raise ValueError("boom")
+        assert active_profiler() is None
+
+
+class TestAllocationTracing:
+    def test_trace_alloc_observes_allocations(self):
+        with profiling(trace_alloc=True) as prof:
+            with prof.section("alloc"):
+                keep = bytearray(512 * 1024)
+        stat = prof.get("alloc")
+        assert stat.peak_bytes >= 512 * 1024
+        assert stat.alloc_bytes >= 512 * 1024
+        del keep
+
+    def test_without_tracing_alloc_is_zero(self):
+        with profiling(trace_alloc=False) as prof:
+            with prof.section("alloc"):
+                bytearray(64 * 1024)
+        stat = prof.get("alloc")
+        assert stat.alloc_bytes == 0
+        assert stat.peak_bytes == 0
+
+    def test_tracemalloc_stopped_after_context(self):
+        import tracemalloc
+
+        with profiling(trace_alloc=True):
+            assert tracemalloc.is_tracing()
+        assert not tracemalloc.is_tracing()
+
+
+class TestKernelStat:
+    def test_record_accumulates(self):
+        stat = KernelStat("k")
+        stat.record(0.5, 100, 200)
+        stat.record(0.25, 50, 120)
+        assert stat.calls == 2
+        assert stat.wall_s == pytest.approx(0.75)
+        assert stat.alloc_bytes == 150
+        assert stat.peak_bytes == 200  # max, not sum
+
+    def test_to_dict_round_trip(self):
+        stat = KernelStat("k", calls=1, wall_s=0.1, alloc_bytes=8, peak_bytes=9)
+        assert stat.to_dict() == {
+            "name": "k",
+            "calls": 1,
+            "wall_s": 0.1,
+            "alloc_bytes": 8,
+            "peak_bytes": 9,
+        }
+
+    def test_report_sorted_by_wall_time(self):
+        prof = Profiler()
+        with prof.section("fast"):
+            pass
+        with prof.section("slow"):
+            sum(range(200_000))
+        names = [row["name"] for row in prof.report()]
+        assert names[0] == "slow"
+
+    def test_clear(self):
+        prof = Profiler()
+        with prof.section("x"):
+            pass
+        prof.clear()
+        assert prof.stats() == []

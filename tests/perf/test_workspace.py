@@ -1,0 +1,219 @@
+"""Workspace/pool semantics: reuse, growth, accounting, aliasing."""
+
+import numpy as np
+import pytest
+
+from repro.backend import BackendSettings
+from repro.perf import (
+    POOL,
+    NullWorkspace,
+    Workspace,
+    WorkspacePool,
+    lease_workspace,
+    pool_stats,
+    reset_pool,
+    use_workspaces,
+    workspaces_enabled,
+)
+
+
+class TestWorkspace:
+    def test_same_name_reuses_backing_memory(self):
+        ws = Workspace()
+        a = ws.buf("x", (4, 3))
+        a[:] = 7.0
+        b = ws.buf("x", (4, 3))
+        assert np.shares_memory(a, b)
+        # One allocation, two serves.
+        assert ws.bytes_allocated == 4 * 3 * 8
+        assert ws.bytes_served == 2 * 4 * 3 * 8
+        assert ws.buf_calls == 2
+
+    def test_views_are_c_contiguous_and_shaped(self):
+        ws = Workspace()
+        a = ws.buf("x", (5, 2))
+        assert a.shape == (5, 2)
+        assert a.flags["C_CONTIGUOUS"]
+        assert a.dtype == np.float64
+
+    def test_shrinking_request_does_not_reallocate(self):
+        ws = Workspace()
+        ws.buf("x", (10,))
+        allocated = ws.bytes_allocated
+        small = ws.buf("x", (4,))
+        assert small.shape == (4,)
+        assert ws.bytes_allocated == allocated
+
+    def test_growing_request_reallocates(self):
+        ws = Workspace()
+        ws.buf("x", (4,))
+        before = ws.bytes_allocated
+        ws.buf("x", (10,))
+        assert ws.bytes_allocated == before + 10 * 8
+
+    def test_distinct_names_are_distinct_memory(self):
+        ws = Workspace()
+        a = ws.buf("a", (8,))
+        b = ws.buf("b", (8,))
+        assert not np.shares_memory(a, b)
+
+    def test_dtype_participates_in_key(self):
+        ws = Workspace()
+        a = ws.buf("x", (8,), np.float64)
+        b = ws.buf("x", (8,), np.float32)
+        assert not np.shares_memory(a, b)
+        assert b.dtype == np.float32
+
+    def test_zero_size_shape_served(self):
+        ws = Workspace()
+        a = ws.buf("x", (0, 3))
+        assert a.shape == (0, 3)
+
+    def test_negative_dimension_rejected(self):
+        ws = Workspace()
+        with pytest.raises(ValueError, match="negative dimension"):
+            ws.buf("x", (-1, 3))
+
+    def test_reset_counters_keeps_capacity(self):
+        ws = Workspace()
+        ws.buf("x", (16,))
+        ws.reset_counters()
+        assert ws.bytes_allocated == 0
+        assert ws.bytes_served == 0
+        assert ws.capacity_bytes == 16 * 8
+        # The warm buffer serves without allocating.
+        ws.buf("x", (16,))
+        assert ws.bytes_allocated == 0
+        assert ws.bytes_served == 16 * 8
+
+
+class TestNullWorkspace:
+    def test_every_call_allocates_fresh(self):
+        ws = NullWorkspace()
+        a = ws.buf("x", (4,))
+        b = ws.buf("x", (4,))
+        assert not np.shares_memory(a, b)
+        assert ws.bytes_allocated == ws.bytes_served == 2 * 4 * 8
+        assert ws.buf_calls == 2
+
+    def test_default_dtype_is_float64(self):
+        assert NullWorkspace().buf("x", (2,)).dtype == np.float64
+
+
+class TestWorkspacePool:
+    def test_release_then_acquire_reuses_workspace(self):
+        pool = WorkspacePool()
+        settings = BackendSettings()
+        ws = pool.acquire(settings, "t:1")
+        ws.buf("x", (8,))
+        pool.release(settings, "t:1", ws)
+        again = pool.acquire(settings, "t:1")
+        assert again is ws
+        # Counters were reset but capacity retained: warm serve.
+        again.buf("x", (8,))
+        assert again.bytes_allocated == 0
+
+    def test_concurrent_leases_never_alias(self):
+        pool = WorkspacePool()
+        settings = BackendSettings()
+        first = pool.acquire(settings, "t:1")
+        second = pool.acquire(settings, "t:1")
+        assert first is not second
+        a = first.buf("x", (8,))
+        b = second.buf("x", (8,))
+        assert not np.shares_memory(a, b)
+
+    def test_shape_class_partitions_the_pool(self):
+        pool = WorkspacePool()
+        settings = BackendSettings()
+        ws = pool.acquire(settings, "a")
+        pool.release(settings, "a", ws)
+        other = pool.acquire(settings, "b")
+        assert other is not ws
+
+    def test_stats_fold_in_at_release(self):
+        pool = WorkspacePool()
+        settings = BackendSettings()
+        ws = pool.acquire(settings, "t:1")
+        ws.buf("x", (8,))
+        assert pool.stats()["bytes_allocated"] == 0  # not yet released
+        pool.release(settings, "t:1", ws)
+        stats = pool.stats()
+        assert stats["bytes_allocated"] == 8 * 8
+        assert stats["bytes_served"] == 8 * 8
+        assert stats["leases"] == 1
+        assert stats["workspaces_created"] == 1
+        assert stats["workspaces_free"] == 1
+
+    def test_null_releases_are_counted_not_pooled(self):
+        pool = WorkspacePool()
+        settings = BackendSettings()
+        ws = NullWorkspace()
+        ws.buf("x", (4,))
+        pool.release(settings, "t:1", ws)
+        stats = pool.stats()
+        assert stats["null_leases"] == 1
+        assert stats["workspaces_free"] == 0
+
+    def test_reuse_fraction(self):
+        pool = WorkspacePool()
+        settings = BackendSettings()
+        ws = pool.acquire(settings, "t:1")
+        ws.buf("x", (8,))
+        ws.buf("x", (8,))
+        pool.release(settings, "t:1", ws)
+        assert pool.stats()["reuse_fraction"] == pytest.approx(0.5)
+
+    def test_clear_resets_everything(self):
+        pool = WorkspacePool()
+        settings = BackendSettings()
+        pool.release(settings, "t:1", pool.acquire(settings, "t:1"))
+        pool.clear()
+        stats = pool.stats()
+        assert stats["leases"] == 0
+        assert stats["workspaces_free"] == 0
+        assert stats["capacity_bytes"] == 0
+
+
+class TestLeaseSeam:
+    def setup_method(self):
+        reset_pool()
+
+    def teardown_method(self):
+        reset_pool()
+
+    def test_enabled_leases_come_from_the_global_pool(self):
+        assert workspaces_enabled()
+        with lease_workspace(None, "seam:1") as ws:
+            assert isinstance(ws, Workspace)
+            assert not isinstance(ws, NullWorkspace)
+            ws.buf("x", (4,))
+        assert pool_stats()["leases"] == 1
+        # Second lease of the class is warm.
+        with lease_workspace(None, "seam:1") as ws:
+            ws.buf("x", (4,))
+        stats = pool_stats()
+        assert stats["workspaces_created"] == 1
+        assert stats["bytes_allocated"] == 4 * 8  # first lease only
+
+    def test_disabled_leases_are_null(self):
+        with use_workspaces(False):
+            assert not workspaces_enabled()
+            with lease_workspace(None, "seam:2") as ws:
+                assert isinstance(ws, NullWorkspace)
+                ws.buf("x", (4,))
+        assert workspaces_enabled()
+        stats = pool_stats()
+        assert stats["null_leases"] == 1
+        assert stats["bytes_allocated"] == stats["bytes_served"]
+
+    def test_use_workspaces_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_workspaces(False):
+                raise RuntimeError("boom")
+        assert workspaces_enabled()
+
+    def test_global_pool_is_the_module_singleton(self):
+        with lease_workspace(BackendSettings(), "seam:3"):
+            pass
+        assert POOL.stats()["leases"] == pool_stats()["leases"]

@@ -111,6 +111,55 @@ class TestProblemCache:
             ProblemCache(maxsize=0)
 
 
+class TestResize:
+    """The ``--cache-size`` knob: live rebound of the LRU limit."""
+
+    def test_shrink_evicts_oldest_first(self):
+        cache = ProblemCache(maxsize=4)
+        kept = cache.get(_key(m=48))
+        cache.get(_key(m=40))  # oldest after the m=48 refresh below
+        cache.get(_key(m=48))  # refresh recency of m=48
+        cache.resize(1)
+        assert cache.stats()["size"] == 1
+        assert cache.get(_key(m=48)) is kept  # survivor is the MRU entry
+
+    def test_shrink_evicts_operator_sets_too(self):
+        from repro.backend import BackendSettings
+
+        cache = ProblemCache(maxsize=4)
+        basis = make_basis(128, "db4")
+        problems = [
+            CsProblem(SensingSpec(seed=0).build(m, 128), basis)
+            for m in (32, 40, 48)
+        ]
+        for problem in problems:
+            cache.operators(problem, BackendSettings())
+        cache.resize(1)
+        assert cache.stats()["operator_sets"] == 1
+
+    def test_grow_keeps_entries(self):
+        cache = ProblemCache(maxsize=2)
+        a = cache.get(_key(m=32))
+        b = cache.get(_key(m=40))
+        cache.resize(8)
+        assert cache.get(_key(m=32)) is a
+        assert cache.get(_key(m=40)) is b
+
+    def test_counters_survive_resize(self):
+        cache = ProblemCache(maxsize=2)
+        cache.get(_key())
+        cache.get(_key())  # one hit
+        cache.resize(1)
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_validation(self):
+        cache = ProblemCache()
+        with pytest.raises(ValueError):
+            cache.resize(0)
+
+
 class TestProblemForConfig:
     def test_uses_process_cache(self):
         config = FrontEndConfig(window_len=128, n_measurements=48)

@@ -1,0 +1,129 @@
+"""Property suite: workspace reuse is bit-identical to fresh allocation.
+
+The zero-allocation engines route every per-iteration temporary through
+a leased :class:`~repro.perf.Workspace`.  The defining property of that
+refactor is that it is a *memory* optimization only: with workspaces on
+(cold pool or warm pool) every batched solver must produce byte-for-byte
+the coefficients of the same solve against the fresh-allocation
+:class:`~repro.perf.NullWorkspace` baseline — across solvers
+{FISTA, ADMM, BSBL}, CRs {25, 50, 75}% and pool states {cold, warm}.
+The aliasing property (two in-flight leases never share memory) is what
+makes that equivalence safe under concurrency, so it is pinned here too.
+
+Marked ``property`` so `make test-fast` can skip them locally; CI always
+runs them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf import lease_workspace, reset_pool, use_workspaces
+from repro.recovery.batched import (
+    solve_bpdn_admm_batch,
+    solve_bsbl_batch,
+    solve_fista_batch,
+)
+from repro.recovery.bsbl import measurement_noise_var
+from repro.recovery.fista import lambda_max
+from repro.recovery.problem import CsProblem
+from repro.sensing.matrices import bernoulli_matrix
+from repro.wavelets.operators import WaveletBasis
+
+pytestmark = pytest.mark.property
+
+N = 64
+_BASIS = WaveletBasis(N, "db4")
+
+#: The satellite grid: CR percent -> measurement count at N = 64.
+_CR_TO_M = {25.0: 48, 50.0: 32, 75.0: 16}
+
+SOLVERS = ("fista", "admm", "bsbl")
+
+
+def _instance(seed: int, cr: float, k_windows: int):
+    """A deterministic problem plus ``k_windows`` measurement vectors."""
+    m = _CR_TO_M[cr]
+    rng = np.random.default_rng(seed)
+    phi = bernoulli_matrix(m, N, seed=seed)
+    problem = CsProblem(phi, _BASIS)
+    ys = []
+    for _ in range(k_windows):
+        alpha = np.zeros(N)
+        alpha[rng.choice(N, 6, replace=False)] = rng.standard_normal(6) * 2.0
+        x = _BASIS.synthesize(alpha)
+        ys.append(phi @ x + 0.01 * rng.standard_normal(m))
+    return problem, ys
+
+
+def _solve(solver: str, problem: CsProblem, ys) -> np.ndarray:
+    """One batched solve; returns the (n, k) coefficient stack."""
+    if solver == "fista":
+        lam = 0.05 * max(lambda_max(problem, y) for y in ys)
+        results = solve_fista_batch(problem, ys, lam, max_iter=60, tol=1e-7)
+    elif solver == "admm":
+        sigma = 0.1 * float(np.median([np.linalg.norm(y) for y in ys]))
+        results = solve_bpdn_admm_batch(
+            problem, ys, sigma, max_iter=60, tol=1e-6
+        )
+    else:
+        results = solve_bsbl_batch(
+            problem, ys, measurement_noise_var(1.0), max_iter=6, tol=1e-10
+        )
+    return np.stack([r.alpha for r in results], axis=1)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    solver=st.sampled_from(SOLVERS),
+    cr=st.sampled_from(sorted(_CR_TO_M)),
+    warm=st.booleans(),
+)
+def test_workspace_reuse_is_bit_identical(seed, solver, cr, warm):
+    """Cold or warm pool, every solver's output must equal the
+    fresh-allocation baseline bit for bit — reuse may never leak one
+    stale byte into the arithmetic."""
+    problem, ys = _instance(seed, cr, k_windows=3)
+    with use_workspaces(False):
+        baseline = _solve(solver, problem, ys)
+    reset_pool()
+    try:
+        if warm:
+            # A prior solve leaves the pool's buffers warm (and dirty
+            # with that solve's values — the harder case).
+            with use_workspaces(True):
+                _solve(solver, problem, ys)
+        with use_workspaces(True):
+            reused = _solve(solver, problem, ys)
+    finally:
+        reset_pool()
+    assert np.array_equal(baseline, reused)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=32),
+        st.integers(min_value=1, max_value=32),
+    ),
+)
+def test_concurrent_pool_leases_never_alias(seed, shape):
+    """Two in-flight leases of one shape class hand out disjoint memory
+    for every buffer name — the guarantee that lets parallel engines
+    share one pool."""
+    reset_pool()
+    try:
+        with lease_workspace(None, "prop:alias") as first:
+            with lease_workspace(None, "prop:alias") as second:
+                a = first.buf("x", shape)
+                b = second.buf("x", shape)
+                a[:] = 1.0
+                b[:] = 2.0
+                assert not np.shares_memory(a, b)
+                assert float(a[0, 0]) == 1.0
+                assert float(b[0, 0]) == 2.0
+    finally:
+        reset_pool()
